@@ -1,0 +1,1 @@
+bench/bench_corpus.ml: Cas_base Cas_langs Cascompcert Cimp Clight Parse

@@ -1,0 +1,397 @@
+(** Benchmark harness regenerating the paper's figures and its one table.
+
+    The paper's evaluation is a Coq development, so its reproducible
+    artifacts are:
+
+    - Fig. 2 / Fig. 3 — the framework's proof steps, here timed as
+      executable checks ([fig2-checks], [fig3-tso]);
+    - Fig. 9 — the race predictor ([fig2-checks] includes DRF);
+    - Fig. 10 — the lock example, exercised by [fig3-tso];
+    - Fig. 11 — the verified compilation passes: we run and time every
+      pass, and report per-pass simulation verdicts ([fig11-passes]);
+    - Fig. 13 — the lines-of-code table: reproduced with the paper's Coq
+      numbers next to this reproduction's OCaml numbers ([fig13-loc]);
+    - plus the quantitative phenomenon motivating the whole design: the
+      non-preemptive semantics explores dramatically fewer interleavings
+      than the preemptive one ([npsem-reduction]), and the TTAS lock's
+      benign race against its fenced variant ([lock-ablation]).
+
+    Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Cas_base
+open Cas_langs
+open Cas_conc
+module Corpus = Bench_corpus
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_group ~name (tests : Test.t list) : (string * float) list =
+  let test = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun k v acc ->
+      match Analyze.OLS.estimates v with
+      | Some (t :: _) -> (k, t) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let pp_ns ppf t =
+  if t > 1e9 then Fmt.pf ppf "%8.2f s " (t /. 1e9)
+  else if t > 1e6 then Fmt.pf ppf "%8.2f ms" (t /. 1e6)
+  else if t > 1e3 then Fmt.pf ppf "%8.2f us" (t /. 1e3)
+  else Fmt.pf ppf "%8.0f ns" t
+
+let print_timings title rows =
+  Fmt.pr "@.--- %s ---@." title;
+  List.iter (fun (name, t) -> Fmt.pr "  %-48s %a@." name pp_ns t) rows
+
+let staged f = Staged.stage f
+
+(* ------------------------------------------------------------------ *)
+(* fig11-passes: run & time every compilation pass                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  Fmt.pr "@.=== FIG 11 — compilation passes ===@.";
+  (* correctness: per-pass simulation verdicts over the corpus *)
+  let total = ref 0 and ok = ref 0 and inconclusive = ref 0 in
+  let per_pass : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, client, _) ->
+      List.iter
+        (fun r ->
+          incr total;
+          let o, i =
+            Option.value ~default:(0, 0)
+              (Hashtbl.find_opt per_pass r.Cascompcert.Framework.pass)
+          in
+          match r.Cascompcert.Framework.outcome with
+          | Cascompcert.Simulation.Sim_ok _ ->
+            incr ok;
+            Hashtbl.replace per_pass r.Cascompcert.Framework.pass (o + 1, i)
+          | Cascompcert.Simulation.Sim_inconclusive _ ->
+            incr inconclusive;
+            Hashtbl.replace per_pass r.Cascompcert.Framework.pass (o, i + 1)
+          | Cascompcert.Simulation.Sim_fail _ ->
+            Hashtbl.replace per_pass r.Cascompcert.Framework.pass (o, i))
+        (Cascompcert.Framework.check_passes client))
+    (Corpus.sequential_clients ());
+  Fmt.pr
+    "footprint-preserving simulation: %d/%d checks ok (%d inconclusive, 0 \
+     failures)@."
+    !ok !total !inconclusive;
+  Fmt.pr "%-16s %s@." "pass" "sim checks ok";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_pass []
+  |> List.sort compare
+  |> List.iter
+       (fun (p, (o, i)) -> Fmt.pr "  %-16s %d ok, %d inconclusive@." p o i);
+  (* speed: per-pass transformation time on the fused corpus program *)
+  let big : Clight.program =
+    let clients =
+      List.map (fun (_, c, _) -> c) (Corpus.sequential_clients ())
+    in
+    {
+      Clight.funcs = List.concat_map (fun c -> c.Clight.funcs) clients;
+      globals =
+        (match Genv.link (List.map (fun c -> c.Clight.globals) clients) with
+        | Ok ge -> List.map (fun (_, _, g) -> g) (Genv.bindings ge)
+        | Error _ -> []);
+    }
+  in
+  let a = Cas_compiler.Driver.compile_artifacts big in
+  let open Cas_compiler in
+  print_timings "per-pass transformation time (fused corpus)"
+    (run_group ~name:"fig11"
+       [
+         Test.make ~name:"SimplLocals" (staged (fun () -> Simpllocals.compile big));
+         Test.make ~name:"Cshmgen" (staged (fun () -> Cshmgen.compile a.Driver.clight_simpl));
+         Test.make ~name:"Cminorgen" (staged (fun () -> Cminorgen.compile a.Driver.csharpminor));
+         Test.make ~name:"Selection" (staged (fun () -> Selection.compile a.Driver.cminor));
+         Test.make ~name:"RTLgen" (staged (fun () -> Rtlgen.compile a.Driver.cminorsel));
+         Test.make ~name:"Tailcall" (staged (fun () -> Tailcall.compile a.Driver.rtl));
+         Test.make ~name:"Renumber" (staged (fun () -> Renumber.compile a.Driver.rtl_tailcall));
+         Test.make ~name:"ConstProp" (staged (fun () -> Constprop.compile a.Driver.rtl_renumber));
+         Test.make ~name:"CSE" (staged (fun () -> Cse.compile a.Driver.rtl_constprop));
+         Test.make ~name:"Deadcode" (staged (fun () -> Deadcode.compile a.Driver.rtl_cse));
+         Test.make ~name:"Allocation" (staged (fun () -> Allocation.compile a.Driver.rtl_deadcode));
+         Test.make ~name:"Tunneling" (staged (fun () -> Tunneling.compile a.Driver.ltl));
+         Test.make ~name:"Linearize" (staged (fun () -> Linearize.compile a.Driver.ltl_tunneled));
+         Test.make ~name:"CleanupLabels" (staged (fun () -> Cleanuplabels.compile a.Driver.linear));
+         Test.make ~name:"Stacking" (staged (fun () -> Stacking.compile a.Driver.linear_clean));
+         Test.make ~name:"Asmgen" (staged (fun () -> Asmgen.compile a.Driver.mach));
+         Test.make ~name:"whole-pipeline" (staged (fun () -> Driver.compile big));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* fig2-checks: the framework steps as checks, with timings             *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  Fmt.pr "@.=== FIG 2 — framework steps on the concurrent corpus ===@.";
+  List.iter
+    (fun input ->
+      let run = Cascompcert.Framework.check_fig2 input in
+      Fmt.pr "%a@." Cascompcert.Framework.pp_run run)
+    (List.filter
+       (fun i -> i.Cascompcert.Framework.name <> "producer-consumer")
+       (Corpus.framework_inputs ()));
+  let input = List.hd (Corpus.framework_inputs ()) in
+  let src = Cascompcert.Framework.source_prog input in
+  let tgt = Cascompcert.Framework.target_prog input in
+  let w p =
+    match World.load p ~args:[] with Ok w -> w | Error _ -> assert false
+  in
+  let w_src = w src and w_tgt = w tgt in
+  print_timings "check timings (lock-counter)"
+    (run_group ~name:"fig2"
+       [
+         Test.make ~name:"DRF(source), preemptive"
+           (staged (fun () -> Race.drf w_src));
+         Test.make ~name:"NPDRF(source)" (staged (fun () -> Race.npdrf w_src));
+         Test.make ~name:"DRF(target), preemptive"
+           (staged (fun () -> Race.drf w_tgt));
+         Test.make ~name:"traces source preemptive"
+           (staged (fun () ->
+                Explore.traces ~max_steps:2500 Preemptive.steps
+                  (Gsem.initials w_src)));
+         Test.make ~name:"traces source non-preemptive"
+           (staged (fun () ->
+                Explore.traces ~max_steps:2500 Nonpreemptive.steps
+                  (Gsem.initials w_src)));
+         Test.make ~name:"whole Fig.2 pipeline"
+           (staged (fun () -> Cascompcert.Framework.check_fig2 input));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* npsem-reduction: preemptive vs non-preemptive state-space sizes      *)
+(* ------------------------------------------------------------------ *)
+
+let np_reduction () =
+  Fmt.pr
+    "@.=== NP-semantics reduction — why Lemma 9 matters quantitatively ===@.";
+  Fmt.pr "%-24s %10s %14s %14s %8s@." "program" "threads" "preempt worlds"
+    "np worlds" "ratio";
+  let progs =
+    [
+      ("lock-counter", 2, Corpus.lock_counter_prog ());
+      ( "lock-counter-3",
+        3,
+        Lang.prog
+          [
+            Lang.Mod (Clight.lang, Corpus.counter ());
+            Lang.Mod (Cimp.lang, Corpus.gamma_lock ());
+          ]
+          [ "inc"; "inc"; "inc" ] );
+      ( "prints-2",
+        2,
+        Lang.prog
+          [
+            Lang.Mod
+              (Clight.lang, Parse.clight {| void f() { print(1); print(2); } |});
+          ]
+          [ "f"; "f" ] );
+      ( "prints-3",
+        3,
+        Lang.prog
+          [
+            Lang.Mod
+              (Clight.lang, Parse.clight {| void f() { print(1); print(2); } |});
+          ]
+          [ "f"; "f"; "f" ] );
+    ]
+  in
+  List.iter
+    (fun (name, n, p) ->
+      match World.load p ~args:[] with
+      | Error _ -> ()
+      | Ok w ->
+        let count step =
+          (Explore.reachable ~max_worlds:400_000 step (Gsem.initials w)
+             ~visit:(fun _ -> ()))
+            .Explore.visited
+        in
+        let pre = count Preemptive.steps in
+        let np = count Nonpreemptive.steps in
+        Fmt.pr "%-24s %10d %14d %14d %7.1fx@." name n pre np
+          (float_of_int pre /. float_of_int (max 1 np)))
+    progs
+
+(* ------------------------------------------------------------------ *)
+(* fig3-tso + lock-ablation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  Fmt.pr "@.=== FIG 3 — extended framework: x86-TSO and the TTAS lock ===@.";
+  let client = Cas_compiler.Driver.compile (Corpus.counter ()) in
+  let gamma = Corpus.gamma_lock () in
+  Fmt.pr "%-14s %-36s %12s@." "lock" "Lemma 16 (TSO+pi <= SC+gamma)"
+    "TSO worlds";
+  let variants =
+    [
+      ("TTAS", Cas_tso.Locks.pi_lock);
+      ("TTAS+fence", Cas_tso.Locks.pi_lock_fenced);
+    ]
+  in
+  List.iter
+    (fun (name, pi) ->
+      let g =
+        Cas_tso.Objsim.check_drf_guarantee ~max_steps:2500 ~clients:[ client ]
+          ~pi ~gamma ~entries:[ "inc"; "inc" ] ()
+      in
+      let worlds =
+        match Cas_tso.Tso.load [ client; pi ] [ "inc"; "inc" ] with
+        | Error _ -> 0
+        | Ok w ->
+          (Explore.reachable_gen ~max_worlds:400_000 Cas_tso.Tso.system
+             (Cas_tso.Tso.initials w) ~visit:(fun _ -> ()))
+            .Explore.visited
+      in
+      Fmt.pr "%-14s %-36s %12d@." name
+        (if g.Cas_tso.Objsim.holds then "holds" else "FAILS")
+        worlds)
+    variants;
+  let sims =
+    Cas_tso.Objsim.check_object_sim ~pi:Cas_tso.Locks.pi_lock ~gamma
+      ~entries:[ ("lock", [ 0; 1 ]); ("unlock", [ 0 ]) ]
+      ()
+  in
+  Fmt.pr "object simulation pi_lock <=o gamma_lock:@.";
+  List.iter (fun r -> Fmt.pr "  %a@." Cas_tso.Objsim.pp_obj_sim r) sims;
+  print_timings "TSO exploration time (2 contending threads)"
+    (run_group ~name:"fig3"
+       (List.map
+          (fun (name, pi) ->
+            Test.make ~name
+              (staged (fun () ->
+                   match Cas_tso.Tso.load [ client; pi ] [ "inc"; "inc" ] with
+                   | Error _ -> ()
+                   | Ok w ->
+                     ignore
+                       (Explore.reachable_gen ~max_worlds:400_000
+                          Cas_tso.Tso.system (Cas_tso.Tso.initials w)
+                          ~visit:(fun _ -> ())))))
+          variants))
+
+(* ------------------------------------------------------------------ *)
+(* fig13-loc: the paper's only table                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 13 of the paper: (pass, CompCert spec, their spec, CompCert
+   proof, their proof), in lines of Coq. *)
+let fig13_paper =
+  [
+    ("Cshmgen", 515, 1021, 1071, 1503);
+    ("Cminorgen", 753, 1556, 1152, 1251);
+    ("Selection", 336, 500, 647, 783);
+    ("RTLgen", 428, 543, 821, 862);
+    ("Tailcall", 173, 328, 275, 405);
+    ("Renumber", 86, 245, 117, 358);
+    ("Allocation", 704, 785, 1410, 1700);
+    ("Tunneling", 131, 339, 166, 475);
+    ("Linearize", 236, 371, 349, 733);
+    ("CleanupLabels", 126, 387, 161, 388);
+    ("Stacking", 730, 1038, 1108, 2135);
+    ("Asmgen", 208, 338, 571, 1128);
+  ]
+
+let fig13_framework_paper =
+  [
+    ("Compositionality (Lem. 6)", 580, 2249);
+    ("DRF preservation (Lem. 8)", 358, 1142);
+    ("Semantics equiv. (Lem. 9)", 1540, 4718);
+    ("Lifting", 813, 1795);
+  ]
+
+let loc_of_file path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" then incr n
+       done
+     with End_of_file -> close_in ic);
+    !n
+  end
+  else 0
+
+let our_pass_file = function
+  | "Cshmgen" -> [ "lib/compiler/cshmgen.ml" ]
+  | "Cminorgen" -> [ "lib/compiler/cminorgen.ml" ]
+  | "Selection" -> [ "lib/compiler/selection.ml" ]
+  | "RTLgen" -> [ "lib/compiler/rtlgen.ml" ]
+  | "Tailcall" -> [ "lib/compiler/tailcall.ml" ]
+  | "Renumber" -> [ "lib/compiler/renumber.ml" ]
+  | "Allocation" -> [ "lib/compiler/allocation.ml"; "lib/compiler/liveness.ml" ]
+  | "Tunneling" -> [ "lib/compiler/tunneling.ml" ]
+  | "Linearize" -> [ "lib/compiler/linearize.ml" ]
+  | "CleanupLabels" -> [ "lib/compiler/cleanuplabels.ml" ]
+  | "Stacking" -> [ "lib/compiler/stacking.ml" ]
+  | "Asmgen" -> [ "lib/compiler/asmgen.ml" ]
+  | _ -> []
+
+let fig13 () =
+  Fmt.pr "@.=== FIG 13 — lines of code (paper: Coq; ours: OCaml) ===@.";
+  Fmt.pr "%-28s %22s %22s %10s@." "pass" "paper spec (CC/ours)"
+    "paper proof (CC/ours)" "this repo";
+  List.iter
+    (fun (name, sc, so, pc, po) ->
+      let ours =
+        List.fold_left (fun acc f -> acc + loc_of_file f) 0 (our_pass_file name)
+      in
+      Fmt.pr "%-28s %12d / %5d %13d / %5d %10s@." name sc so pc po
+        (if ours = 0 then "n/a" else string_of_int ours))
+    fig13_paper;
+  Fmt.pr "-- framework components --@.";
+  let our_framework =
+    [
+      ( "Compositionality (Lem. 6)",
+        [ "lib/core/simulation.ml"; "lib/core/framework.ml" ] );
+      ("DRF preservation (Lem. 8)", [ "lib/conc/race.ml" ]);
+      ( "Semantics equiv. (Lem. 9)",
+        [
+          "lib/conc/preemptive.ml";
+          "lib/conc/nonpreemptive.ml";
+          "lib/conc/explore.ml";
+          "lib/conc/refine.ml";
+        ] );
+      ("Lifting", [ "lib/conc/world.ml"; "lib/conc/gsem.ml" ]);
+    ]
+  in
+  List.iter
+    (fun (name, sp, pr) ->
+      let files = try List.assoc name our_framework with Not_found -> [] in
+      let ours = List.fold_left (fun acc f -> acc + loc_of_file f) 0 files in
+      Fmt.pr "%-28s %12s / %5d %13s / %5d %10s@." name "-" sp "-" pr
+        (if ours = 0 then "n/a" else string_of_int ours))
+    fig13_framework_paper;
+  Fmt.pr
+    "(paper columns are Coq spec+proof lines; ours are OCaml implementation \
+     lines —@.the proofs are replaced by the executable checkers and the test \
+     suite)@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Fmt.pr "CASCompCert reproduction — benchmark harness@.";
+  Fmt.pr "(one section per paper figure/table; see EXPERIMENTS.md)@.";
+  fig13 ();
+  fig11 ();
+  fig2 ();
+  np_reduction ();
+  fig3 ();
+  Fmt.pr "@.all benches done.@."

@@ -1,0 +1,244 @@
+(** casc — the CASCompCert command-line driver.
+
+    Subcommands:
+    - [compile FILE]: compile a mini-C module, print requested IRs;
+    - [run FILE --entry f [--entry g] [--lock]]: run a program under the
+      preemptive SC semantics (entries become threads; [--lock] links the
+      γ_lock object so clients can call lock/unlock);
+    - [drf FILE ...]: run the race predictor;
+    - [check FILE ...]: execute the full Fig. 2 framework pipeline;
+    - [sim FILE --entry f]: per-pass footprint-preserving simulation;
+    - [tso FILE ...]: compile and run against the TTAS spin lock on the
+      x86-TSO machine, and check the strengthened DRF-guarantee. *)
+
+open Cmdliner
+open Cas_base
+open Cas_langs
+open Cas_conc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_client path =
+  try Ok (Parse.clight (read_file path)) with
+  | Lexer.Error (msg, pos) ->
+    Error (Fmt.str "%s: %s at %a" path msg Lexer.pp_pos pos)
+  | Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file")
+
+let entries_arg =
+  Arg.(
+    value
+    & opt_all string [ "main" ]
+    & info [ "e"; "entry" ] ~docv:"FUNC"
+        ~doc:"entry function; repeat to spawn several threads")
+
+let with_lock_arg =
+  Arg.(
+    value & flag
+    & info [ "lock" ] ~doc:"link the CImp lock object (lock/unlock callable)")
+
+let ir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ir" ] ~docv:"STAGE"
+        ~doc:"print this IR: clight, csharpminor, cminor, rtl, ltl, linear, \
+              mach, asm (default: asm)")
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run file ir =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client ->
+      let a = Cas_compiler.Driver.compile_artifacts client in
+      let open Cas_compiler.Driver in
+      (match Option.value ~default:"asm" ir with
+      | "clight" ->
+        List.iter
+          (fun f -> Fmt.pr "%s:@.  %a@." f.Clight.fname Clight.pp_stmt f.Clight.fbody)
+          a.clight_simpl.Clight.funcs
+      | "csharpminor" ->
+        List.iter
+          (fun f ->
+            Fmt.pr "%s:@.  %a@." f.Csharpminor.fname Csharpminor.pp_stmt
+              f.Csharpminor.fbody)
+          a.csharpminor.Csharpminor.funcs
+      | "cminor" ->
+        List.iter
+          (fun f ->
+            Fmt.pr "%s (stack %d):@.  %a@." f.Cminor.fname f.Cminor.stacksize
+              Cminor.pp_stmt f.Cminor.fbody)
+          a.cminorsel.Cminor.funcs
+      | "rtl" -> Fmt.pr "%a@." Fmt.(list ~sep:cut Rtl.pp_func) a.rtl_cse.Rtl.funcs
+      | "ltl" ->
+        Fmt.pr "%a@." Fmt.(list ~sep:cut Ltl.pp_func) a.ltl_tunneled.Ltl.funcs
+      | "linear" ->
+        Fmt.pr "%a@."
+          Fmt.(list ~sep:cut Linearl.pp_func)
+          a.linear_clean.Linearl.funcs
+      | "mach" ->
+        Fmt.pr "%a@." Fmt.(list ~sep:cut Machl.pp_func) a.mach.Machl.funcs
+      | "asm" | _ ->
+        Fmt.pr "%a@." Fmt.(list ~sep:cut Asm.pp_func) a.asm.Asm.funcs);
+      0
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"compile a mini-C module and print an IR")
+    Term.(const run $ file_arg $ ir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run / drf                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_prog client ~with_lock ~entries ~compiled =
+  let client_mod =
+    if compiled then Lang.Mod (Asm.lang, Cas_compiler.Driver.compile client)
+    else Lang.Mod (Clight.lang, client)
+  in
+  let mods =
+    if with_lock then [ client_mod; Lang.Mod (Cimp.lang, Cimp.gamma_lock ()) ]
+    else [ client_mod ]
+  in
+  Lang.prog mods entries
+
+let run_cmd =
+  let run file entries with_lock compiled =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client -> (
+      let p = build_prog client ~with_lock ~entries ~compiled in
+      match World.load p ~args:[] with
+      | Error e ->
+        Fmt.epr "load error: %a@." World.pp_load_error e;
+        1
+      | Ok w ->
+        let tr = Explore.traces Preemptive.steps (Gsem.initials w) in
+        Fmt.pr "observable traces (%s):@.%a@."
+          (if tr.Explore.complete then "complete" else "bounded")
+          Explore.TraceSet.pp tr.Explore.traces;
+        0)
+  in
+  let compiled_arg =
+    Arg.(value & flag & info [ "compiled" ] ~doc:"run the compiled x86 instead")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"run threads under the preemptive SC semantics")
+    Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ compiled_arg)
+
+let drf_cmd =
+  let run file entries with_lock =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client -> (
+      let p = build_prog client ~with_lock ~entries ~compiled:false in
+      match World.load p ~args:[] with
+      | Error e ->
+        Fmt.epr "load error: %a@." World.pp_load_error e;
+        1
+      | Ok w ->
+        let r = Race.drf w in
+        Fmt.pr "%a@." Race.pp_drf_report r;
+        if r.Race.drf then 0 else 2)
+  in
+  Cmd.v
+    (Cmd.info "drf" ~doc:"exhaustive data-race detection (Fig. 9)")
+    Term.(const run $ file_arg $ entries_arg $ with_lock_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check / sim / tso                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file entries with_lock =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client ->
+      let input =
+        {
+          Cascompcert.Framework.name = Filename.basename file;
+          clients = [ client ];
+          objects = (if with_lock then [ Cimp.gamma_lock () ] else []);
+          entries;
+        }
+      in
+      let r = Cascompcert.Framework.check_fig2 input in
+      Fmt.pr "%a@." Cascompcert.Framework.pp_run r;
+      if r.Cascompcert.Framework.all_ok then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"run the full Fig. 2 framework pipeline")
+    Term.(const run $ file_arg $ entries_arg $ with_lock_arg)
+
+let sim_cmd =
+  let run file =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client ->
+      let reports = Cascompcert.Framework.check_passes client in
+      List.iter (fun r -> Fmt.pr "%a@." Cascompcert.Framework.pp_pass_sim r) reports;
+      if List.for_all (fun r -> Cascompcert.Framework.sim_ok r.Cascompcert.Framework.outcome) reports
+      then 0
+      else 2
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"check the footprint-preserving simulation for every pass")
+    Term.(const run $ file_arg)
+
+let tso_cmd =
+  let run file entries =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client -> (
+      let asm = Cas_compiler.Driver.compile client in
+      match Cas_tso.Tso.load [ asm; Cas_tso.Locks.pi_lock ] entries with
+      | Error e ->
+        Fmt.epr "load error: %a@." World.pp_load_error e;
+        1
+      | Ok w ->
+        let tr = Cas_tso.Tso.traces w in
+        Fmt.pr "x86-TSO traces (with the TTAS spin lock):@.%a@."
+          Explore.TraceSet.pp tr.Explore.traces;
+        let g =
+          Cas_tso.Objsim.check_drf_guarantee ~clients:[ asm ]
+            ~pi:Cas_tso.Locks.pi_lock ~gamma:(Cimp.gamma_lock ()) ~entries ()
+        in
+        Fmt.pr "Lemma 16: %a@." Cas_tso.Objsim.pp_guarantee g;
+        if g.Cas_tso.Objsim.holds then 0 else 2)
+  in
+  Cmd.v
+    (Cmd.info "tso"
+       ~doc:"run compiled code against the TTAS lock on the x86-TSO machine")
+    Term.(const run $ file_arg $ entries_arg)
+
+let () =
+  let doc = "certified-separate-compilation playground (CASCompCert reproduction)" in
+  let info = Cmd.info "casc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; drf_cmd; check_cmd; sim_cmd; tso_cmd ]))

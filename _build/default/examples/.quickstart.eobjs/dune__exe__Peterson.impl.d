@@ -1,0 +1,1 @@
+examples/peterson.ml: Asm Cas_base Cas_conc Cas_langs Cas_tso Clight Event Explore Fmt Genv Gsem Lang Mreg Parse Preemptive Race World

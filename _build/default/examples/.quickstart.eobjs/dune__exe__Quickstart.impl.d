@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Cas_base Cas_compiler Cas_conc Cas_langs Cascompcert Clight Explore Fmt Gsem Lang List Parse Preemptive Rtl Value World

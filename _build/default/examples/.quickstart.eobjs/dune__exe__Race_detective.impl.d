@@ -1,0 +1,1 @@
+examples/race_detective.ml: Cas_base Cas_conc Cas_langs Cimp Clight Explore Fmt Gsem Lang Nonpreemptive Parse Preemptive Race Refine World

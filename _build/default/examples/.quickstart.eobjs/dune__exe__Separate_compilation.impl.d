@@ -1,0 +1,1 @@
+examples/separate_compilation.ml: Asm Cas_base Cas_compiler Cas_conc Cas_langs Cascompcert Clight Explore Fmt Lang Parse Preemptive Refine Value World

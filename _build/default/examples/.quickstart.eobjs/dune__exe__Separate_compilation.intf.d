@@ -1,0 +1,1 @@
+examples/separate_compilation.mli:

@@ -1,0 +1,1 @@
+examples/spinlock_counter.ml: Asm Cas_compiler Cas_conc Cas_langs Cas_tso Cascompcert Explore Fmt List Locks Objsim Parse Tso World

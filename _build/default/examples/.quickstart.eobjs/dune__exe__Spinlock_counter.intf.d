@@ -1,0 +1,1 @@
+examples/spinlock_counter.mli:

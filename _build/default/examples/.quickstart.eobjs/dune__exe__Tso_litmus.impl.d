@@ -1,0 +1,1 @@
+examples/tso_litmus.ml: Asm Cas_base Cas_compiler Cas_conc Cas_langs Cas_tso Cimp Explore Fmt Genv Gsem Lang List Locks Mreg Objsim Parse Preemptive Tso World

@@ -1,0 +1,1 @@
+lib/base/addr.ml: Fmt Int Map Set

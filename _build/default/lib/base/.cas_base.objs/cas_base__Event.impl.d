@@ -1,0 +1,1 @@
+lib/base/event.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/base/flist.ml: Addr Fmt List

@@ -1,0 +1,1 @@
+lib/base/footprint.ml: Addr Fmt List

@@ -1,0 +1,1 @@
+lib/base/genv.ml: Addr List Map Memory Option Perm String Value

@@ -1,0 +1,1 @@
+lib/base/lang.ml: Flist Fmt Footprint Format Genv List Memory Msg Value

@@ -1,0 +1,1 @@
+lib/base/layout.ml: Addr Flist Footprint Int List Map Memory Option Perm Value

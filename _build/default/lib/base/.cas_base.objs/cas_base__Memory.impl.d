@@ -1,0 +1,1 @@
+lib/base/memory.ml: Addr Buffer Flist Fmt Footprint Int List Map Option Perm String Value

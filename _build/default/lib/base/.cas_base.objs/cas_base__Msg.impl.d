@@ -1,0 +1,1 @@
+lib/base/msg.ml: Event Fmt List String Value

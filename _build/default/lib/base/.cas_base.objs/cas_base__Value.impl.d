@@ -1,0 +1,1 @@
+lib/base/value.ml: Addr Fmt Int

@@ -1,0 +1,1 @@
+lib/base/wd.ml: Addr Flist Fmt Footprint Lang List Memory Msg Value

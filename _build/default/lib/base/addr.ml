@@ -1,0 +1,32 @@
+(** Memory addresses, CompCert-style: a block identifier paired with an
+    integer offset within the block (paper §3.1, footnote 2). *)
+
+type t = { block : int; ofs : int }
+
+let make block ofs = { block; ofs }
+
+let compare a b =
+  let c = Int.compare a.block b.block in
+  if c <> 0 then c else Int.compare a.ofs b.ofs
+
+let equal a b = a.block = b.block && a.ofs = b.ofs
+let hash a = (a.block * 65599) + a.ofs
+let pp ppf a = Fmt.pf ppf "%d.%d" a.block a.ofs
+let to_string a = Fmt.str "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp) (elements s)
+
+  let of_seq_list l = of_list l
+end
+
+module Map = Map.Make (Ord)

@@ -1,0 +1,25 @@
+(** Externally observable events (the [e] of Fig. 4). Event traces built
+    from these are the objects compared by refinement ⊑ and equivalence ≈. *)
+
+type t =
+  | Print of int  (** output of an integer, e.g. the [print] call in Fig. 10(c) *)
+  | Out of string  (** labelled output, used by examples and tests *)
+
+let equal a b =
+  match (a, b) with
+  | Print x, Print y -> x = y
+  | Out x, Out y -> String.equal x y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Print x, Print y -> Int.compare x y
+  | Print _, _ -> -1
+  | _, Print _ -> 1
+  | Out x, Out y -> String.compare x y
+
+let pp ppf = function
+  | Print n -> Fmt.pf ppf "print(%d)" n
+  | Out s -> Fmt.pf ppf "out(%s)" s
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,47 @@
+(** Freelists F: each thread owns an infinite set of block identifiers
+    reserved for its stack allocations (Fig. 5). Freelists of distinct
+    threads must be disjoint (Load rule, Fig. 7).
+
+    We realize F as the arithmetic progression
+    [{ offset + k * stride | k ≥ 0 }]. With [stride = n] (the number of
+    threads) and per-thread offsets, disjointness is by construction, and
+    allocations of different threads commute — the key property §2.3 needs
+    for the preemptive/non-preemptive equivalence proof, which CompCert's
+    single shared nextblock breaks. *)
+
+type t = { offset : int; stride : int }
+
+let make ~offset ~stride =
+  if stride <= 0 then invalid_arg "Flist.make: stride must be positive";
+  if offset < 0 then invalid_arg "Flist.make: offset must be non-negative";
+  { offset; stride }
+
+(** The [i]-th block of the freelist (the b_i of §7.1). *)
+let nth f i = f.offset + (i * f.stride)
+
+let mem f b = b >= f.offset && (b - f.offset) mod f.stride = 0
+
+let disjoint f g =
+  (* Two progressions a+ks, b+kt are disjoint iff no common element; we
+     only ever build same-stride families, but answer the general question
+     by bounded search over one period. *)
+  if f.stride = g.stride then (f.offset - g.offset) mod f.stride <> 0
+  else
+    let lcm =
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      f.stride * g.stride / gcd f.stride g.stride
+    in
+    let limit = max f.offset g.offset + lcm in
+    let rec probe b = b > limit || ((not (mem f b)) || not (mem g b)) && probe (b + 1)
+    in
+    probe (min f.offset g.offset)
+
+(** Partition block space above [base] (blocks < base hold globals) into
+    [n] pairwise-disjoint freelists, one per thread. *)
+let partition ~globals:base n =
+  List.init n (fun i -> make ~offset:(base + i) ~stride:n)
+
+let pp ppf f = Fmt.pf ppf "{%d + k*%d}" f.offset f.stride
+
+(** Addresses belonging to the freelist's blocks. *)
+let owns_addr f (a : Addr.t) = mem f a.block

@@ -1,0 +1,46 @@
+(** Footprints δ = (rs, ws): the sets of memory locations read and written
+    by a step (Fig. 4). The paper folds permission-observing operations
+    into rs/ws (footnote 4); we do the same. *)
+
+type t = { rs : Addr.Set.t; ws : Addr.Set.t }
+
+let empty = { rs = Addr.Set.empty; ws = Addr.Set.empty }
+let is_empty d = Addr.Set.is_empty d.rs && Addr.Set.is_empty d.ws
+let reads addrs = { rs = Addr.Set.of_list addrs; ws = Addr.Set.empty }
+let writes addrs = { rs = Addr.Set.empty; ws = Addr.Set.of_list addrs }
+let read1 a = reads [ a ]
+let write1 a = writes [ a ]
+
+let union a b =
+  { rs = Addr.Set.union a.rs b.rs; ws = Addr.Set.union a.ws b.ws }
+
+let union_all l = List.fold_left union empty l
+
+(** δ ⊆ δ' pointwise (the [FP.subset] of Fig. 12). *)
+let subset a b = Addr.Set.subset a.rs b.rs && Addr.Set.subset a.ws b.ws
+
+(** When used as a set, δ denotes rs ∪ ws (§5). *)
+let locs d = Addr.Set.union d.rs d.ws
+
+(** δ1 ⌢ δ2: conflict, i.e. one's write set meets the other's locations
+    (§5). This is the heart of the race predictor. *)
+let conflict d1 d2 =
+  (not (Addr.Set.is_empty (Addr.Set.inter d1.ws (locs d2))))
+  || not (Addr.Set.is_empty (Addr.Set.inter d2.ws (locs d1)))
+
+(** Instrumented conflict (δ1,d1) ⌢ (δ2,d2): racy only if at least one of
+    the two accesses is outside an atomic block (§5). *)
+let conflict_bits (d1, b1) (d2, b2) = conflict d1 d2 && ((not b1) || not b2)
+
+(** Restrict a footprint to a region of interest. *)
+let inter_locs d s =
+  { rs = Addr.Set.inter d.rs s; ws = Addr.Set.inter d.ws s }
+
+(** Is the footprint confined to [region]? Used for the "in scope"
+    premises δ ⊆ (F ∪ µ.S) of Def. 3. *)
+let within d ~mem:region = Addr.Set.subset (locs d) region
+
+let equal a b = Addr.Set.equal a.rs b.rs && Addr.Set.equal a.ws b.ws
+
+let pp ppf d =
+  Fmt.pf ppf "(rs=%a, ws=%a)" Addr.Set.pp d.rs Addr.Set.pp d.ws

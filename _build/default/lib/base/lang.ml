@@ -1,0 +1,58 @@
+(** The abstract module language tl = (Module, Core, InitCore, ↦) of
+    Fig. 4, realized as a record of operations over an abstract [core]
+    type.
+
+    A local step [F ⊢ (κ, σ) -ι->_δ (κ', σ')] is modelled by [step]
+    returning the *set* (list) of successors; nondeterminism is the list,
+    so the paper's [det(tl)] becomes "every reachable core has at most one
+    successor", a property [Cascompcert.Simulation] checks at runtime.
+    An empty successor list on a core that has not returned means the
+    module is stuck, which the global semantics treats as [abort]. *)
+
+type 'core succ =
+  | Next of Msg.t * Footprint.t * 'core * Memory.t
+  | Stuck_abort  (** explicit abort, e.g. a failed [assert] in CImp *)
+
+type ('code, 'core) t = {
+  name : string;  (** language name, e.g. "Clight", "RTL", "x86" *)
+  init_core :
+    genv:Genv.t -> 'code -> entry:string -> args:Value.t list -> 'core option;
+      (** InitCore: [None] if [entry] is not defined by this module. *)
+  step : Flist.t -> 'core -> Memory.t -> 'core succ list;
+  after_external : 'core -> Value.t option -> 'core option;
+      (** resume a core waiting at a [Call] with the callee's return value *)
+  fingerprint_core : 'core -> string;
+      (** canonical encoding for state-space memoization *)
+  pp_core : Format.formatter -> 'core -> unit;
+  globals_of : 'code -> Genv.gvar list;
+      (** the ge declared by a module of this language *)
+}
+
+(** A module of the program: a language paired with code in it — the
+    (tl, ge, π) triples of Fig. 4, with ge recoverable via [globals_of]. *)
+type modu = Mod : ('code, 'core) t * 'code -> modu
+
+(** A running core with its language, existentially packed so that threads
+    in different languages live in one thread pool. *)
+type xcore = XCore : ('code, 'core) t * 'core -> xcore
+
+let xcore_fingerprint (XCore (l, c)) = l.name ^ "|" ^ l.fingerprint_core c
+let pp_xcore ppf (XCore (l, c)) = Fmt.pf ppf "%s:%a" l.name l.pp_core c
+
+(** A whole program P = let Π in f1 ∥ ... ∥ fn (Fig. 4). *)
+type prog = { modules : modu list; entries : string list }
+
+let prog modules entries = { modules; entries }
+
+(** Link-time resolution: initialize a core for [entry] in the first module
+    that defines it. *)
+let resolve ~genv (modules : modu list) ~entry ~args : xcore option =
+  List.find_map
+    (fun (Mod (l, code)) ->
+      match l.init_core ~genv code ~entry ~args with
+      | Some c -> Some (XCore (l, c))
+      | None -> None)
+    modules
+
+let link_genv (p : prog) =
+  Genv.link (List.map (fun (Mod (l, code)) -> l.globals_of code) p.modules)

@@ -1,0 +1,185 @@
+(** The global memory state σ: a finite partial map from addresses to
+    values (Fig. 4), organized CompCert-style as a finite map from block
+    identifiers to fixed-size arrays of abstract values. Cells are
+    word-indexed; we do not model byte splitting (documented simplification
+    in DESIGN.md).
+
+    Each block carries a permission tag implementing the client/object
+    partition of §7.1. *)
+
+module IntMap = Map.Make (Int)
+
+type block_info = {
+  size : int;  (** number of word cells, offsets 0..size-1 *)
+  data : Value.t IntMap.t;  (** missing offsets read as [Vundef] *)
+  perm : Perm.t;
+}
+
+type t = { blocks : block_info IntMap.t }
+
+type fault =
+  | Unmapped of Addr.t
+  | Out_of_bounds of Addr.t
+  | Perm_mismatch of Addr.t * Perm.t
+
+let pp_fault ppf = function
+  | Unmapped a -> Fmt.pf ppf "unmapped %a" Addr.pp a
+  | Out_of_bounds a -> Fmt.pf ppf "out-of-bounds %a" Addr.pp a
+  | Perm_mismatch (a, p) ->
+    Fmt.pf ppf "permission mismatch at %a (block is %a)" Addr.pp a Perm.pp p
+
+let empty = { blocks = IntMap.empty }
+
+let block_defined m b = IntMap.mem b m.blocks
+
+(** Allocate block [b] with [size] cells; fails if already defined. Used
+    both for globals at load time and for stack allocation. *)
+let alloc_block m ~block ~size ~perm =
+  if block_defined m block then
+    invalid_arg (Fmt.str "Memory.alloc_block: block %d already allocated" block)
+  else
+    { blocks = IntMap.add block { size; data = IntMap.empty; perm } m.blocks }
+
+(** Least block of freelist [f] not yet in the memory domain. Because
+    memory domains only grow ([forward]), this is deterministic and
+    collision-free across the frames of one thread. *)
+let fresh_block m f =
+  let rec go i =
+    let b = Flist.nth f i in
+    if block_defined m b then go (i + 1) else b
+  in
+  go 0
+
+(** Allocate a fresh block from freelist [f]. Returns the new memory, the
+    block id, and the allocation footprint (the fresh cells appear in the
+    write set, as required by LEffect item (2) of Def. 1). *)
+let alloc m f ~size ~perm =
+  let b = fresh_block m f in
+  let m' = alloc_block m ~block:b ~size ~perm in
+  let ws = List.init size (fun i -> Addr.make b i) in
+  (m', b, Footprint.writes ws)
+
+let load ?(perm = Perm.Normal) m (a : Addr.t) =
+  match IntMap.find_opt a.block m.blocks with
+  | None -> Error (Unmapped a)
+  | Some bi ->
+    if a.ofs < 0 || a.ofs >= bi.size then Error (Out_of_bounds a)
+    else if not (Perm.equal bi.perm perm) then Error (Perm_mismatch (a, bi.perm))
+    else Ok (Option.value ~default:Value.Vundef (IntMap.find_opt a.ofs bi.data))
+
+let store ?(perm = Perm.Normal) m (a : Addr.t) v =
+  match IntMap.find_opt a.block m.blocks with
+  | None -> Error (Unmapped a)
+  | Some bi ->
+    if a.ofs < 0 || a.ofs >= bi.size then Error (Out_of_bounds a)
+    else if not (Perm.equal bi.perm perm) then Error (Perm_mismatch (a, bi.perm))
+    else
+      let bi' = { bi with data = IntMap.add a.ofs v bi.data } in
+      Ok { blocks = IntMap.add a.block bi' m.blocks }
+
+(** Load ignoring permissions; used by meta-level checkers only, never by
+    language semantics. *)
+let peek m (a : Addr.t) =
+  match IntMap.find_opt a.block m.blocks with
+  | None -> None
+  | Some bi ->
+    if a.ofs < 0 || a.ofs >= bi.size then None
+    else Some (Option.value ~default:Value.Vundef (IntMap.find_opt a.ofs bi.data))
+
+let perm_of_block m b =
+  Option.map (fun bi -> bi.perm) (IntMap.find_opt b m.blocks)
+
+let block_size m b = Option.map (fun bi -> bi.size) (IntMap.find_opt b m.blocks)
+
+(** dom(σ) as an address set (finite: blocks × sizes). *)
+let dom m =
+  IntMap.fold
+    (fun b bi acc ->
+      let rec add ofs acc =
+        if ofs >= bi.size then acc else add (ofs + 1) (Addr.Set.add (Addr.make b ofs) acc)
+      in
+      add 0 acc)
+    m.blocks Addr.Set.empty
+
+let dom_blocks m = IntMap.fold (fun b _ acc -> b :: acc) m.blocks [] |> List.rev
+
+(** σ₁ =S= σ₂ (Fig. 6): agree on every address of [s] — either undefined in
+    both or defined in both with equal contents. *)
+let eq_on s m1 m2 =
+  Addr.Set.for_all
+    (fun a ->
+      match (peek m1 a, peek m2 a) with
+      | None, None -> true
+      | Some v1, Some v2 -> Value.equal v1 v2
+      | _ -> false)
+    s
+
+(** forward(σ, σ'): the domain only grows (Def. 1 item 1). *)
+let forward m m' =
+  IntMap.for_all
+    (fun b bi ->
+      match IntMap.find_opt b m'.blocks with
+      | Some bi' -> bi'.size >= bi.size
+      | None -> false)
+    m.blocks
+
+(** LEffect(σ, σ', δ, F) (Fig. 6): cells outside δ.ws are unchanged, and
+    newly-allocated cells lie in δ.ws ∩ F. *)
+let leffect m m' (d : Footprint.t) f =
+  let outside_ws_unchanged =
+    Addr.Set.for_all
+      (fun a ->
+        Addr.Set.mem a d.ws
+        ||
+        match (peek m a, peek m' a) with
+        | Some v, Some v' -> Value.equal v v'
+        | _ -> false)
+      (dom m)
+  in
+  let new_cells = Addr.Set.diff (dom m') (dom m) in
+  outside_ws_unchanged
+  && Addr.Set.for_all (fun a -> Addr.Set.mem a d.ws && Flist.owns_addr f a) new_cells
+
+(** closed(S, σ) (Fig. 7): pointers stored at addresses in S point into S. *)
+let closed_on s m =
+  Addr.Set.for_all
+    (fun a ->
+      match peek m a with
+      | Some (Value.Vptr p) -> Addr.Set.mem p s
+      | _ -> true)
+    s
+
+let closed m = closed_on (dom m) m
+
+(** Canonical fingerprint for state-space memoization. *)
+let fingerprint m =
+  let buf = Buffer.create 256 in
+  IntMap.iter
+    (fun b bi ->
+      Buffer.add_string buf (string_of_int b);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int bi.size);
+      Buffer.add_char buf '[';
+      IntMap.iter
+        (fun ofs v ->
+          match v with
+          | Value.Vundef -> ()
+          | v ->
+            Buffer.add_string buf (string_of_int ofs);
+            Buffer.add_char buf '=';
+            Buffer.add_string buf (Value.to_string v);
+            Buffer.add_char buf ';')
+        bi.data;
+      Buffer.add_char buf ']')
+    m.blocks;
+  Buffer.contents buf
+
+let equal m1 m2 = String.equal (fingerprint m1) (fingerprint m2)
+
+let pp ppf m =
+  IntMap.iter
+    (fun b bi ->
+      Fmt.pf ppf "@[block %d (%a, %d cells):" b Perm.pp bi.perm bi.size;
+      IntMap.iter (fun ofs v -> Fmt.pf ppf " [%d]=%a" ofs Value.pp v) bi.data;
+      Fmt.pf ppf "@]@.")
+    m.blocks

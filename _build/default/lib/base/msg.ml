@@ -1,0 +1,49 @@
+(** Messages ι labelling module-local steps (Fig. 4). They define the
+    protocol between a module and the global semantics:
+
+    - [Tau]: silent internal step.
+    - [Evt e]: externally observable event.
+    - [Ret v]: termination of the current core, returning [v] to the
+      caller frame (or ending the thread if this is the bottom frame).
+    - [EntAtom]/[ExtAtom]: boundaries of atomic blocks.
+    - [Call (f, args)]: external function call, resolved by the global
+      linker as in Compositional CompCert's interaction semantics.
+    - [TailCall (f, args)]: like [Call] but replaces the current frame;
+      produced by the Tailcall optimization pass. *)
+
+type t =
+  | Tau
+  | Evt of Event.t
+  | Ret of Value.t
+  | EntAtom
+  | ExtAtom
+  | Call of string * Value.t list
+  | TailCall of string * Value.t list
+
+let is_tau = function Tau -> true | _ -> false
+
+(** Switch points of the non-preemptive semantics: every non-silent
+    message yields control (§3.3: context switch occurs only at
+    synchronization points). *)
+let is_switch_point m = not (is_tau m)
+
+let equal a b =
+  match (a, b) with
+  | Tau, Tau | EntAtom, EntAtom | ExtAtom, ExtAtom -> true
+  | Evt x, Evt y -> Event.equal x y
+  | Ret x, Ret y -> Value.equal x y
+  | Call (f, xs), Call (g, ys) | TailCall (f, xs), TailCall (g, ys) ->
+    String.equal f g && List.length xs = List.length ys
+    && List.for_all2 Value.equal xs ys
+  | _ -> false
+
+let pp ppf = function
+  | Tau -> Fmt.string ppf "tau"
+  | Evt e -> Event.pp ppf e
+  | Ret v -> Fmt.pf ppf "ret(%a)" Value.pp v
+  | EntAtom -> Fmt.string ppf "EntAtom"
+  | ExtAtom -> Fmt.string ppf "ExtAtom"
+  | Call (f, args) ->
+    Fmt.pf ppf "call %s(%a)" f Fmt.(list ~sep:comma Value.pp) args
+  | TailCall (f, args) ->
+    Fmt.pf ppf "tailcall %s(%a)" f Fmt.(list ~sep:comma Value.pp) args

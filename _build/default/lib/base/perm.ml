@@ -1,0 +1,16 @@
+(** Block permissions implementing the client/object data partition of
+    §7.1: object (synchronization-library) data carries permission
+    [Object]; client code may only touch [Normal] blocks and the CImp
+    object language may only touch [Object] blocks. This is how the
+    framework confines benign races to the object's memory region. *)
+
+type t = Normal | Object
+
+let equal a b =
+  match (a, b) with
+  | Normal, Normal | Object, Object -> true
+  | _ -> false
+
+let pp ppf = function
+  | Normal -> Fmt.string ppf "normal"
+  | Object -> Fmt.string ppf "object"

@@ -1,0 +1,1 @@
+lib/compiler/allocation.ml: Cas_langs Hashtbl Int List Liveness Ltl Mreg Option Rtl Set

@@ -1,0 +1,1 @@
+lib/compiler/asmgen.ml: Asm Cas_langs List Machl Mreg Selection

@@ -1,0 +1,1 @@
+lib/compiler/cleanuplabels.ml: Cas_langs Hashtbl Linearl List

@@ -1,0 +1,1 @@
+lib/compiler/cminorgen.ml: Cas_langs Cminor Csharpminor List

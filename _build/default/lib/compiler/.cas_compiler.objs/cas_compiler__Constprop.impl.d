@@ -1,0 +1,1 @@
+lib/compiler/constprop.ml: Cas_base Cas_langs Int List Map Ops Option Queue Rtl

@@ -1,0 +1,1 @@
+lib/compiler/cse.ml: Cas_langs Hashtbl List Option Rtl

@@ -1,0 +1,1 @@
+lib/compiler/cshmgen.ml: Cas_langs Clight Csharpminor List

@@ -1,0 +1,1 @@
+lib/compiler/deadcode.ml: Cas_langs List Liveness Rtl

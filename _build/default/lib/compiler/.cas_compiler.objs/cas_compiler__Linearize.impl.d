@@ -1,0 +1,1 @@
+lib/compiler/linearize.ml: Cas_langs Hashtbl Linearl List Ltl

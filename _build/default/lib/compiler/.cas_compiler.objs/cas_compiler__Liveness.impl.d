@@ -1,0 +1,1 @@
+lib/compiler/liveness.ml: Cas_langs Int List Option Queue Rtl Set

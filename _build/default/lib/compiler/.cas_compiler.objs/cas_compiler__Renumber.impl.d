@@ -1,0 +1,1 @@
+lib/compiler/renumber.ml: Cas_langs Hashtbl List Rtl

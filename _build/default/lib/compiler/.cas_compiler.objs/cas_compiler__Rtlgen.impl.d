@@ -1,0 +1,1 @@
+lib/compiler/rtlgen.ml: Cas_langs Cminor List Option Rtl

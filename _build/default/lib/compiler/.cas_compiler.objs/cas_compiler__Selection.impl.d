@@ -1,0 +1,1 @@
+lib/compiler/selection.ml: Cas_base Cas_langs Cminor List Ops

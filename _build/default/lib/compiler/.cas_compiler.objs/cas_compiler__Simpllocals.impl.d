@@ -1,0 +1,1 @@
+lib/compiler/simpllocals.ml: Cas_langs Clight List Set String

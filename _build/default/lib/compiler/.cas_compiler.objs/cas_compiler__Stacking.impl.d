@@ -1,0 +1,1 @@
+lib/compiler/stacking.ml: Cas_langs Fmt Linearl List Machl Mreg Option

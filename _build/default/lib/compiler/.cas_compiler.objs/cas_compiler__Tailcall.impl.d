@@ -1,0 +1,1 @@
+lib/compiler/tailcall.ml: Cas_langs List Rtl

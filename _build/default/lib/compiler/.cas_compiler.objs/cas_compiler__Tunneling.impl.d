@@ -1,0 +1,1 @@
+lib/compiler/tunneling.ml: Cas_langs List Ltl

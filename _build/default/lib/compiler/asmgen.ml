@@ -1,0 +1,54 @@
+(** Asmgen: Mach → x86 assembly (Fig. 11). Three-address Mach operators
+    are lowered to two-address x86 forms, falling back to the [Pbinop3]
+    pseudo-instruction when the destination collides with the second
+    operand of a non-commutative operator. Slot accesses become frame
+    loads/stores relative to the stack pointer. *)
+
+open Cas_langs
+
+let commutative = Selection.commutative
+
+let tr_op (op : Machl.op) (d : Mreg.t) : Asm.instr list =
+  match op with
+  | Mreg.Gmove s -> if Mreg.equal s d then [] else [ Asm.Pmov_rr (d, s) ]
+  | Mreg.Gconst n -> [ Asm.Pmov_ri (d, n) ]
+  | Mreg.Gaddrglobal g -> [ Asm.Plea_global (d, g) ]
+  | Mreg.Gaddrstack ofs -> [ Asm.Plea_stack (d, ofs) ]
+  | Mreg.Gbinop (bop, a, b) ->
+    if Mreg.equal d a then [ Asm.Pbinop_rr (bop, d, b) ]
+    else if Mreg.equal d b then
+      if commutative bop then [ Asm.Pbinop_rr (bop, d, a) ]
+      else [ Asm.Pbinop3 (bop, d, a, b) ]
+    else [ Asm.Pmov_rr (d, a); Asm.Pbinop_rr (bop, d, b) ]
+  | Mreg.Gbinop_imm (bop, a, n) ->
+    if Mreg.equal d a then [ Asm.Pbinop_ri (bop, d, n) ]
+    else [ Asm.Pmov_rr (d, a); Asm.Pbinop_ri (bop, d, n) ]
+  | Mreg.Gunop (uop, a) ->
+    if Mreg.equal d a then [ Asm.Punop_r (uop, d) ]
+    else [ Asm.Pmov_rr (d, a); Asm.Punop_r (uop, d) ]
+
+let tr_instr (f : Machl.func) (i : Machl.instr) : Asm.instr list =
+  match i with
+  | Machl.Mop (op, d) -> tr_op op d
+  | Machl.Mload (d, ofs, r) -> [ Asm.Pload (d, r, ofs) ]
+  | Machl.Mstore (r, ofs, s) -> [ Asm.Pstore (r, ofs, s) ]
+  | Machl.Mgetstack (i, r) -> [ Asm.Pload_stack (r, f.Machl.stacksize + i) ]
+  | Machl.Msetstack (r, i) -> [ Asm.Pstore_stack (f.Machl.stacksize + i, r) ]
+  | Machl.Mcall (g, arity, res) -> [ Asm.Pcall (g, arity, res) ]
+  | Machl.Mtailcall (g, arity) -> [ Asm.Ptailjmp (g, arity) ]
+  | Machl.Mlabel l -> [ Asm.Plabel l ]
+  | Machl.Mgoto l -> [ Asm.Pjmp l ]
+  | Machl.Mcond (r, l) -> [ Asm.Pcmp_ri (r, 0); Asm.Pjcc (Asm.Cne, l) ]
+  | Machl.Mreturn res -> [ Asm.Pret res ]
+
+let tr_func (f : Machl.func) : Asm.func =
+  {
+    Asm.fname = f.Machl.fname;
+    arity = f.Machl.arity;
+    framesize = Machl.frame_size f;
+    is_object = false;
+    code = List.concat_map (tr_instr f) f.Machl.code;
+  }
+
+let compile (p : Machl.program) : Asm.program =
+  { Asm.funcs = List.map tr_func p.Machl.funcs; globals = p.Machl.globals }

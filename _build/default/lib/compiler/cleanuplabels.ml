@@ -1,0 +1,27 @@
+(** CleanupLabels: Linear → Linear (Fig. 11). Labels not referenced by any
+    goto or conditional branch are removed. *)
+
+open Cas_langs
+
+let referenced (code : Linearl.instr list) : (int, unit) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Linearl.Lgoto l | Linearl.Lcond (_, l) -> Hashtbl.replace t l ()
+      | _ -> ())
+    code;
+  t
+
+let tr_func (f : Linearl.func) : Linearl.func =
+  let used = referenced f.Linearl.code in
+  let code =
+    List.filter
+      (function
+        | Linearl.Llabel l -> Hashtbl.mem used l
+        | _ -> true)
+      f.Linearl.code
+  in
+  { f with Linearl.code }
+
+let compile (p : Linearl.program) : Linearl.program =
+  { p with Linearl.funcs = List.map tr_func p.Linearl.funcs }

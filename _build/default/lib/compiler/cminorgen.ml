@@ -1,0 +1,57 @@
+(** Cminorgen: C#minor → Cminor (Fig. 11). The per-variable stack blocks
+    are laid out as offsets into a single per-activation stack block. *)
+
+open Cas_langs
+
+type layout = (string * int) list  (** variable -> offset *)
+
+let layout_of (f : Csharpminor.func) : layout * int =
+  let ofs, lay =
+    List.fold_left
+      (fun (ofs, lay) (x, size) -> (ofs + size, (x, ofs) :: lay))
+      (0, []) f.Csharpminor.fvars
+  in
+  (List.rev lay, ofs)
+
+let rec tr_expr (lay : layout) (e : Csharpminor.expr) : Cminor.expr =
+  match e with
+  | Csharpminor.Econst n -> Cminor.Econst n
+  | Csharpminor.Etemp x -> Cminor.Etemp x
+  | Csharpminor.Eaddr_local x -> (
+    match List.assoc_opt x lay with
+    | Some ofs -> Cminor.Eaddr_stack ofs
+    | None -> Cminor.Eaddr_global x (* unknown local: treat as global *))
+  | Csharpminor.Eaddr_global x -> Cminor.Eaddr_global x
+  | Csharpminor.Eload e -> Cminor.Eload (tr_expr lay e)
+  | Csharpminor.Ebinop (op, a, b) ->
+    Cminor.Ebinop (op, tr_expr lay a, tr_expr lay b)
+  | Csharpminor.Eunop (op, a) -> Cminor.Eunop (op, tr_expr lay a)
+
+let rec tr_stmt (lay : layout) (s : Csharpminor.stmt) : Cminor.stmt =
+  match s with
+  | Csharpminor.Sskip -> Cminor.Sskip
+  | Csharpminor.Sset (x, e) -> Cminor.Sset (x, tr_expr lay e)
+  | Csharpminor.Sstore (a, e) -> Cminor.Sstore (tr_expr lay a, tr_expr lay e)
+  | Csharpminor.Scall (dst, g, args) ->
+    Cminor.Scall (dst, g, List.map (tr_expr lay) args)
+  | Csharpminor.Sseq (a, b) -> Cminor.Sseq (tr_stmt lay a, tr_stmt lay b)
+  | Csharpminor.Sif (e, a, b) ->
+    Cminor.Sif (tr_expr lay e, tr_stmt lay a, tr_stmt lay b)
+  | Csharpminor.Swhile (e, s) -> Cminor.Swhile (tr_expr lay e, tr_stmt lay s)
+  | Csharpminor.Sreturn None -> Cminor.Sreturn None
+  | Csharpminor.Sreturn (Some e) -> Cminor.Sreturn (Some (tr_expr lay e))
+
+let tr_func (f : Csharpminor.func) : Cminor.func =
+  let lay, stacksize = layout_of f in
+  {
+    Cminor.fname = f.Csharpminor.fname;
+    fparams = f.Csharpminor.fparams;
+    stacksize;
+    fbody = tr_stmt lay f.Csharpminor.fbody;
+  }
+
+let compile (p : Csharpminor.program) : Cminor.program =
+  {
+    Cminor.funcs = List.map tr_func p.Csharpminor.funcs;
+    globals = p.Csharpminor.globals;
+  }

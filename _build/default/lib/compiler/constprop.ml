@@ -1,0 +1,130 @@
+(** ConstProp: RTL → RTL. Constant propagation by forward dataflow over
+    the CFG. Listed as future work for CASCompCert (§8, "we would like to
+    verify more optimization passes"); we implement it and subject it to
+    the same footprint-preserving simulation checks as the Fig. 11 passes.
+
+    The footprint of the optimized code can only shrink: folding an
+    operation never adds a load, and turning a known conditional into a
+    jump removes the (register-only) test. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+
+(* Abstract values: Unknown ⊐ Const n. A missing register is Unknown. *)
+type aval = Const of int
+
+module AMap = Map.Make (Int)
+
+type astate = aval AMap.t
+
+let join (a : astate) (b : astate) : astate =
+  AMap.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some (Const n), Some (Const m) when n = m -> Some (Const n)
+      | _ -> None)
+    a b
+
+let astate_equal a b = AMap.equal (fun (Const n) (Const m) -> n = m) a b
+
+let eval_op (st : astate) (op : Rtl.op) : aval option =
+  let reg r = AMap.find_opt r st in
+  match op with
+  | Rtl.Omove r -> reg r
+  | Rtl.Oconst n -> Some (Const n)
+  | Rtl.Oaddrglobal _ | Rtl.Oaddrstack _ -> None
+  | Rtl.Obinop (op, a, b) -> (
+    match (reg a, reg b) with
+    | Some (Const x), Some (Const y) ->
+      Option.map (fun n -> Const n) (Ops.const_binop op x y)
+    | _ -> None)
+  | Rtl.Obinop_imm (op, a, n) -> (
+    match reg a with
+    | Some (Const x) -> Option.map (fun v -> Const v) (Ops.const_binop op x n)
+    | None -> None)
+  | Rtl.Ounop (op, a) -> (
+    match reg a with
+    | Some (Const x) -> (
+      match Ops.eval_unop op (Cas_base.Value.Vint x) with
+      | Cas_base.Value.Vint n -> Some (Const n)
+      | _ -> None)
+    | None -> None)
+
+let transfer (st : astate) (i : Rtl.instr) : astate =
+  match i with
+  | Rtl.Iop (op, d, _) -> (
+    match eval_op st op with
+    | Some v -> AMap.add d v st
+    | None -> AMap.remove d st)
+  | Rtl.Iload (d, _, _, _) -> AMap.remove d st
+  | Rtl.Icall (_, _, Some d, _) -> AMap.remove d st
+  | _ -> st
+
+(** Compute the abstract state at the entry of every node. *)
+let analyze (f : Rtl.func) : astate IMap.t =
+  let in_states = ref IMap.empty in
+  let worklist = Queue.create () in
+  let update n st =
+    let changed =
+      match IMap.find_opt n !in_states with
+      | None ->
+        in_states := IMap.add n st !in_states;
+        true
+      | Some old ->
+        let joined = join old st in
+        if astate_equal joined old then false
+        else begin
+          in_states := IMap.add n joined !in_states;
+          true
+        end
+    in
+    if changed then Queue.add n worklist
+  in
+  update f.Rtl.entry AMap.empty;
+  while not (Queue.is_empty worklist) do
+    let n = Queue.pop worklist in
+    match IMap.find_opt n f.Rtl.code with
+    | None -> ()
+    | Some i ->
+      let st =
+        Option.value ~default:AMap.empty (IMap.find_opt n !in_states)
+      in
+      let out = transfer st i in
+      List.iter (fun s -> update s out) (Rtl.successors i)
+  done;
+  !in_states
+
+let rewrite_op (st : astate) (op : Rtl.op) : Rtl.op =
+  match eval_op st op with
+  | Some (Const n) -> Rtl.Oconst n
+  | None -> (
+    (* strength-reduce one constant operand into immediate form *)
+    match op with
+    | Rtl.Obinop (bop, a, b) -> (
+      match (AMap.find_opt a st, AMap.find_opt b st) with
+      | _, Some (Const n) -> Rtl.Obinop_imm (bop, a, n)
+      | Some (Const n), _
+        when List.mem bop Ops.[ Oadd; Omul; Oand; Oor; Oxor; Oeq; One ] ->
+        Rtl.Obinop_imm (bop, b, n)
+      | _ -> op)
+    | op -> op)
+
+let tr_func (f : Rtl.func) : Rtl.func =
+  let states = analyze f in
+  let code =
+    IMap.mapi
+      (fun n i ->
+        let st = Option.value ~default:AMap.empty (IMap.find_opt n states) in
+        match i with
+        | Rtl.Iop (op, d, succ) -> Rtl.Iop (rewrite_op st op, d, succ)
+        | Rtl.Icond (r, n1, n2) -> (
+          match AMap.find_opt r st with
+          | Some (Const v) -> Rtl.Inop (if v <> 0 then n1 else n2)
+          | None -> i)
+        | i -> i)
+      f.Rtl.code
+  in
+  { f with Rtl.code }
+
+let compile (p : Rtl.program) : Rtl.program =
+  { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }

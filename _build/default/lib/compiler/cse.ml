@@ -1,0 +1,83 @@
+(** CSE: RTL → RTL. Local value numbering over single-predecessor chains
+    of the CFG: a pure operator applied to the same operands as an earlier
+    instruction in the chain is replaced by a move from the register that
+    already holds the value.
+
+    Like ConstProp, this is one of the optimizations the paper defers
+    (§8); it is register-only, so target footprints again only shrink —
+    checked by the per-pass simulation tests. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+
+type key = K of Rtl.op
+
+(* Only pure, non-trivial operators are worth numbering. *)
+let key_of = function
+  | Rtl.Obinop _ | Rtl.Obinop_imm _ | Rtl.Ounop _ -> true
+  | Rtl.Omove _ | Rtl.Oconst _ | Rtl.Oaddrglobal _ | Rtl.Oaddrstack _ -> false
+
+let op_operands = function
+  | Rtl.Omove r | Rtl.Obinop_imm (_, r, _) | Rtl.Ounop (_, r) -> [ r ]
+  | Rtl.Obinop (_, a, b) -> [ a; b ]
+  | Rtl.Oconst _ | Rtl.Oaddrglobal _ | Rtl.Oaddrstack _ -> []
+
+let pred_counts (f : Rtl.func) : int IMap.t =
+  IMap.fold
+    (fun _ i acc ->
+      List.fold_left
+        (fun acc s ->
+          IMap.update s
+            (fun c -> Some (1 + Option.value ~default:0 c))
+            acc)
+        acc (Rtl.successors i))
+    f.Rtl.code
+    (IMap.singleton f.Rtl.entry 1)
+
+let tr_func (f : Rtl.func) : Rtl.func =
+  let preds = pred_counts f in
+  let code = ref f.Rtl.code in
+  let visited = Hashtbl.create 64 in
+  (* avail: association list (key, reg) *)
+  let invalidate d avail =
+    List.filter (fun (K op, r) -> r <> d && not (List.mem d (op_operands op))) avail
+  in
+  let rec walk n avail =
+    if Hashtbl.mem visited n then ()
+    else begin
+      Hashtbl.add visited n ();
+      match IMap.find_opt n !code with
+      | None -> ()
+      | Some i ->
+        let i, avail =
+          match i with
+          | Rtl.Iop (op, d, succ) when key_of op -> (
+            match List.assoc_opt (K op) avail with
+            | Some r when r <> d ->
+              (Rtl.Iop (Rtl.Omove r, d, succ), invalidate d avail)
+            | _ ->
+              let avail = invalidate d avail in
+              let avail =
+                if List.mem d (op_operands op) then avail
+                else (K op, d) :: avail
+              in
+              (i, avail))
+          | Rtl.Iop (_, d, _) | Rtl.Iload (d, _, _, _) ->
+            (i, invalidate d avail)
+          | Rtl.Icall (_, _, Some d, _) -> (i, invalidate d avail)
+          | i -> (i, avail)
+        in
+        code := IMap.add n i !code;
+        List.iter
+          (fun s ->
+            (* continue the chain only into single-predecessor nodes *)
+            let single = IMap.find_opt s preds = Some 1 in
+            walk s (if single then avail else []))
+          (Rtl.successors i)
+    end
+  in
+  walk f.Rtl.entry [];
+  { f with Rtl.code = !code }
+
+let compile (p : Rtl.program) : Rtl.program =
+  { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }

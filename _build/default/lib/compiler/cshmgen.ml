@@ -1,0 +1,56 @@
+(** Cshmgen: Clight → C#minor (Fig. 11). Variable accesses become explicit
+    loads/stores on the addresses of the per-variable stack blocks or
+    globals; temporaries and control structure are preserved. *)
+
+open Cas_langs
+
+let is_local (f : Clight.func) x = List.mem_assoc x f.fvars
+
+let rec tr_expr (f : Clight.func) (e : Clight.expr) : Csharpminor.expr =
+  match e with
+  | Clight.Econst n -> Csharpminor.Econst n
+  | Clight.Etemp x -> Csharpminor.Etemp x
+  | Clight.Evar x ->
+    if is_local f x then Csharpminor.Eload (Csharpminor.Eaddr_local x)
+    else Csharpminor.Eload (Csharpminor.Eaddr_global x)
+  | Clight.Eglob x ->
+    if is_local f x then Csharpminor.Eload (Csharpminor.Eaddr_local x)
+    else Csharpminor.Eload (Csharpminor.Eaddr_global x)
+  | Clight.Eaddrof x ->
+    if is_local f x then Csharpminor.Eaddr_local x
+    else Csharpminor.Eaddr_global x
+  | Clight.Ederef e -> Csharpminor.Eload (tr_expr f e)
+  | Clight.Ebinop (op, a, b) -> Csharpminor.Ebinop (op, tr_expr f a, tr_expr f b)
+  | Clight.Eunop (op, a) -> Csharpminor.Eunop (op, tr_expr f a)
+
+let tr_lhs (f : Clight.func) (l : Clight.lhs) : Csharpminor.expr =
+  match l with
+  | Clight.Lvar x | Clight.Lglob x ->
+    if is_local f x then Csharpminor.Eaddr_local x
+    else Csharpminor.Eaddr_global x
+  | Clight.Lderef e -> tr_expr f e
+
+let rec tr_stmt (f : Clight.func) (s : Clight.stmt) : Csharpminor.stmt =
+  match s with
+  | Clight.Sskip -> Csharpminor.Sskip
+  | Clight.Sassign (l, e) -> Csharpminor.Sstore (tr_lhs f l, tr_expr f e)
+  | Clight.Sset (x, e) -> Csharpminor.Sset (x, tr_expr f e)
+  | Clight.Scall (dst, g, args) ->
+    Csharpminor.Scall (dst, g, List.map (tr_expr f) args)
+  | Clight.Sseq (a, b) -> Csharpminor.Sseq (tr_stmt f a, tr_stmt f b)
+  | Clight.Sif (e, a, b) ->
+    Csharpminor.Sif (tr_expr f e, tr_stmt f a, tr_stmt f b)
+  | Clight.Swhile (e, s) -> Csharpminor.Swhile (tr_expr f e, tr_stmt f s)
+  | Clight.Sreturn None -> Csharpminor.Sreturn None
+  | Clight.Sreturn (Some e) -> Csharpminor.Sreturn (Some (tr_expr f e))
+
+let tr_func (f : Clight.func) : Csharpminor.func =
+  {
+    Csharpminor.fname = f.Clight.fname;
+    fparams = f.Clight.fparams;
+    fvars = f.Clight.fvars;
+    fbody = tr_stmt f f.Clight.fbody;
+  }
+
+let compile (p : Clight.program) : Csharpminor.program =
+  { Csharpminor.funcs = List.map tr_func p.Clight.funcs; globals = p.Clight.globals }

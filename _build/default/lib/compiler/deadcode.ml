@@ -1,0 +1,37 @@
+(** Deadcode: RTL → RTL. Pure instructions whose result is dead (not in
+    the liveness live-out set) become no-ops. One more of the optimization
+    passes the paper leaves as future work (§8); dead loads disappear, so
+    target footprints shrink — the direction FPmatch permits.
+
+    Note the care required: a dead *load* can be removed (reads shrink),
+    but a dead *operation on registers* is footprint-free anyway; stores
+    and calls are never removed. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+module ISet = Liveness.ISet
+
+let pure_def = function
+  | Rtl.Iop (_, d, n) -> Some (d, n)
+  | Rtl.Iload (d, _, _, n) -> Some (d, n)
+  | _ -> None
+
+(* One sweep exposes new dead code (removing a dead move kills its
+   source's last use), so iterate to a fixpoint. *)
+let rec tr_func (f : Rtl.func) : Rtl.func =
+  let live = Liveness.analyze f in
+  let changed = ref false in
+  let code =
+    IMap.mapi
+      (fun n i ->
+        match pure_def i with
+        | Some (d, succ) when not (ISet.mem d (Liveness.live_out live n)) ->
+          changed := true;
+          Rtl.Inop succ
+        | _ -> i)
+      f.Rtl.code
+  in
+  if !changed then tr_func { f with Rtl.code } else f
+
+let compile (p : Rtl.program) : Rtl.program =
+  { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }

@@ -1,0 +1,100 @@
+(** The CASCompCert compilation driver: composes the passes of Fig. 11
+    (plus the ConstProp/CSE extensions) from Clight down to x86 assembly,
+    recording every intermediate program so tests and examples can run
+    the per-pass footprint-preserving simulation between each consecutive
+    pair. *)
+
+open Cas_langs
+
+(** Intermediate snapshots of one compilation unit. *)
+type artifacts = {
+  clight : Clight.program;
+  clight_simpl : Clight.program;
+  csharpminor : Csharpminor.program;
+  cminor : Cminor.program;
+  cminorsel : Cminor.program;
+  rtl : Rtl.program;
+  rtl_tailcall : Rtl.program;
+  rtl_renumber : Rtl.program;
+  rtl_constprop : Rtl.program;
+  rtl_cse : Rtl.program;
+  rtl_deadcode : Rtl.program;
+  ltl : Ltl.program;
+  ltl_tunneled : Ltl.program;
+  linear : Linearl.program;
+  linear_clean : Linearl.program;
+  mach : Machl.program;
+  asm : Asm.program;
+}
+
+type options = { optimize : bool  (** run Tailcall/ConstProp/CSE *) }
+
+let default_options = { optimize = true }
+
+let compile_artifacts ?(options = default_options) (p : Clight.program) :
+    artifacts =
+  let clight = p in
+  let clight_simpl = Simpllocals.compile clight in
+  let csharpminor = Cshmgen.compile clight_simpl in
+  let cminor = Cminorgen.compile csharpminor in
+  let cminorsel = Selection.compile cminor in
+  let rtl = Rtlgen.compile cminorsel in
+  let rtl_tailcall = if options.optimize then Tailcall.compile rtl else rtl in
+  let rtl_renumber = Renumber.compile rtl_tailcall in
+  let rtl_constprop =
+    if options.optimize then Constprop.compile rtl_renumber else rtl_renumber
+  in
+  let rtl_cse = if options.optimize then Cse.compile rtl_constprop else rtl_constprop in
+  let rtl_deadcode =
+    if options.optimize then Deadcode.compile rtl_cse else rtl_cse
+  in
+  let ltl = Allocation.compile rtl_deadcode in
+  let ltl_tunneled = Tunneling.compile ltl in
+  let linear = Linearize.compile ltl_tunneled in
+  let linear_clean = Cleanuplabels.compile linear in
+  let mach = Stacking.compile linear_clean in
+  let asm = Asmgen.compile mach in
+  {
+    clight;
+    clight_simpl;
+    csharpminor;
+    cminor;
+    cminorsel;
+    rtl;
+    rtl_tailcall;
+    rtl_renumber;
+    rtl_constprop;
+    rtl_cse;
+    rtl_deadcode;
+    ltl;
+    ltl_tunneled;
+    linear;
+    linear_clean;
+    mach;
+    asm;
+  }
+
+(** The whole compiler: Clight module in, x86 module out. *)
+let compile ?options (p : Clight.program) : Asm.program =
+  (compile_artifacts ?options p).asm
+
+(** Names and order of the pipeline stages, for reports (Fig. 11). *)
+let pass_names =
+  [
+    "SimplLocals";
+    "Cshmgen";
+    "Cminorgen";
+    "Selection";
+    "RTLgen";
+    "Tailcall";
+    "Renumber";
+    "ConstProp";
+    "CSE";
+    "Deadcode";
+    "Allocation";
+    "Tunneling";
+    "Linearize";
+    "CleanupLabels";
+    "Stacking";
+    "Asmgen";
+  ]

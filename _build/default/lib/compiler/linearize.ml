@@ -1,0 +1,72 @@
+(** Linearize: LTL → Linear (Fig. 11). CFG nodes are ordered depth-first
+    from the entry; each node becomes a labelled instruction, with gotos
+    inserted where the chosen order breaks fallthrough. Labels reuse the
+    LTL node numbers; CleanupLabels removes the unreferenced ones. *)
+
+open Cas_langs
+module IMap = Ltl.IMap
+
+let order (f : Ltl.func) : Ltl.node list =
+  let visited = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      acc := n :: !acc;
+      match IMap.find_opt n f.Ltl.code with
+      | None -> ()
+      | Some i ->
+        (* visit fallthrough-successor last so it tends to follow us *)
+        List.iter dfs (List.rev (Ltl.successors i))
+    end
+  in
+  dfs f.Ltl.entry;
+  List.rev !acc
+
+let tr_func (f : Ltl.func) : Linearl.func =
+  let nodes = order f in
+  let buf = ref [] in
+  let emit i = buf := i :: !buf in
+  let rec emit_nodes = function
+    | [] -> ()
+    | n :: rest ->
+      let next = match rest with n' :: _ -> Some n' | [] -> None in
+      emit (Linearl.Llabel n);
+      (match IMap.find_opt n f.Ltl.code with
+      | None -> emit (Linearl.Lreturn None)
+      | Some i -> (
+        let goto_unless_next target =
+          if next = Some target then () else emit (Linearl.Lgoto target)
+        in
+        match i with
+        | Ltl.Lnop s -> goto_unless_next s
+        | Ltl.Lop (op, d, s) ->
+          emit (Linearl.Lop (op, d));
+          goto_unless_next s
+        | Ltl.Lload (d, ofs, r, s) ->
+          emit (Linearl.Lload (d, ofs, r));
+          goto_unless_next s
+        | Ltl.Lstore (r, ofs, src, s) ->
+          emit (Linearl.Lstore (r, ofs, src));
+          goto_unless_next s
+        | Ltl.Lcall (g, args, dst, s) ->
+          emit (Linearl.Lcall (g, args, dst));
+          goto_unless_next s
+        | Ltl.Ltailcall (g, args) -> emit (Linearl.Ltailcall (g, args))
+        | Ltl.Lcond (r, s1, s2) ->
+          emit (Linearl.Lcond (r, s1));
+          goto_unless_next s2
+        | Ltl.Lreturn ro -> emit (Linearl.Lreturn ro)));
+      emit_nodes rest
+  in
+  (* ensure the entry block comes first *)
+  emit_nodes nodes;
+  {
+    Linearl.fname = f.Ltl.fname;
+    fparams = f.Ltl.fparams;
+    stacksize = f.Ltl.stacksize;
+    code = List.rev !buf;
+  }
+
+let compile (p : Ltl.program) : Linearl.program =
+  { Linearl.funcs = List.map tr_func p.Ltl.funcs; globals = p.Ltl.globals }

@@ -1,0 +1,56 @@
+(** Backward liveness dataflow on RTL, used by the Allocation pass. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+module ISet = Set.Make (Int)
+
+type t = { live_in : ISet.t IMap.t; live_out : ISet.t IMap.t }
+
+let get m n = Option.value ~default:ISet.empty (IMap.find_opt n m)
+
+let analyze (f : Rtl.func) : t =
+  let live_in = ref IMap.empty in
+  let live_out = ref IMap.empty in
+  let preds =
+    IMap.fold
+      (fun n i acc ->
+        List.fold_left
+          (fun acc s ->
+            IMap.update s
+              (fun l -> Some (n :: Option.value ~default:[] l))
+              acc)
+          acc (Rtl.successors i))
+      f.Rtl.code IMap.empty
+  in
+  let worklist = Queue.create () in
+  IMap.iter (fun n _ -> Queue.add n worklist) f.Rtl.code;
+  while not (Queue.is_empty worklist) do
+    let n = Queue.pop worklist in
+    match IMap.find_opt n f.Rtl.code with
+    | None -> ()
+    | Some i ->
+      let out =
+        List.fold_left
+          (fun acc s -> ISet.union acc (get !live_in s))
+          ISet.empty (Rtl.successors i)
+      in
+      let ins =
+        let minus_def =
+          match Rtl.defs i with Some d -> ISet.remove d out | None -> out
+        in
+        List.fold_left (fun acc u -> ISet.add u acc) minus_def (Rtl.uses i)
+      in
+      live_out := IMap.add n out !live_out;
+      if not (ISet.equal ins (get !live_in n)) then begin
+        live_in := IMap.add n ins !live_in;
+        List.iter
+          (fun p -> Queue.add p worklist)
+          (Option.value ~default:[] (IMap.find_opt n preds))
+      end
+  done;
+  { live_in = !live_in; live_out = !live_out }
+
+(** Dead registers at a program point enable dead-code diagnostics and the
+    allocator's interference construction. *)
+let live_out t n = get t.live_out n
+let live_in t n = get t.live_in n

@@ -1,0 +1,43 @@
+(** Renumber: RTL → RTL (Fig. 11). Reachable CFG nodes are renumbered
+    consecutively in depth-first order from the entry; unreachable code is
+    dropped. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+
+let map_succs f = function
+  | Rtl.Inop n -> Rtl.Inop (f n)
+  | Rtl.Iop (op, d, n) -> Rtl.Iop (op, d, f n)
+  | Rtl.Iload (d, ofs, r, n) -> Rtl.Iload (d, ofs, r, f n)
+  | Rtl.Istore (r, ofs, s, n) -> Rtl.Istore (r, ofs, s, f n)
+  | Rtl.Icall (g, args, dst, n) -> Rtl.Icall (g, args, dst, f n)
+  | Rtl.Itailcall (g, args) -> Rtl.Itailcall (g, args)
+  | Rtl.Icond (r, n1, n2) -> Rtl.Icond (r, f n1, f n2)
+  | Rtl.Ireturn ro -> Rtl.Ireturn ro
+
+let tr_func (f : Rtl.func) : Rtl.func =
+  let mapping = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let rec dfs n =
+    if not (Hashtbl.mem mapping n) then begin
+      incr counter;
+      Hashtbl.add mapping n !counter;
+      match IMap.find_opt n f.Rtl.code with
+      | None -> ()
+      | Some i -> List.iter dfs (Rtl.successors i)
+    end
+  in
+  dfs f.Rtl.entry;
+  let renum n = try Hashtbl.find mapping n with Not_found -> n in
+  let code =
+    IMap.fold
+      (fun n i acc ->
+        match Hashtbl.find_opt mapping n with
+        | None -> acc (* unreachable *)
+        | Some n' -> IMap.add n' (map_succs renum i) acc)
+      f.Rtl.code IMap.empty
+  in
+  { f with Rtl.entry = renum f.Rtl.entry; code }
+
+let compile (p : Rtl.program) : Rtl.program =
+  { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }

@@ -1,0 +1,152 @@
+(** RTLgen: CminorSel → RTL (Fig. 11). Structured control is translated
+    into a control-flow graph, built backwards from each statement's
+    continuation node; temporaries become pseudo-registers. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+
+type st = {
+  mutable next_reg : int;
+  mutable next_node : int;
+  mutable code : Rtl.instr IMap.t;
+  mutable temps : (string * Rtl.reg) list;
+}
+
+let fresh_reg st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let temp_reg st x =
+  match List.assoc_opt x st.temps with
+  | Some r -> r
+  | None ->
+    let r = fresh_reg st in
+    st.temps <- (x, r) :: st.temps;
+    r
+
+let reserve st =
+  let n = st.next_node in
+  st.next_node <- n + 1;
+  n
+
+let set_instr st n i = st.code <- IMap.add n i st.code
+
+let add_instr st i =
+  let n = reserve st in
+  set_instr st n i;
+  n
+
+(** Translate an expression: returns the entry node of the code that
+    leaves the value in the returned register and continues to [nd]. *)
+let rec tr_expr st (e : Cminor.expr) (nd : Rtl.node) : Rtl.node * Rtl.reg =
+  match e with
+  | Cminor.Econst n ->
+    let r = fresh_reg st in
+    (add_instr st (Rtl.Iop (Rtl.Oconst n, r, nd)), r)
+  | Cminor.Etemp x -> (nd, temp_reg st x)
+  | Cminor.Eaddr_global g ->
+    let r = fresh_reg st in
+    (add_instr st (Rtl.Iop (Rtl.Oaddrglobal g, r, nd)), r)
+  | Cminor.Eaddr_stack ofs ->
+    let r = fresh_reg st in
+    (add_instr st (Rtl.Iop (Rtl.Oaddrstack ofs, r, nd)), r)
+  | Cminor.Eload e ->
+    let r = fresh_reg st in
+    let load = reserve st in
+    let entry, ra = tr_expr st e load in
+    set_instr st load (Rtl.Iload (r, 0, ra, nd));
+    (entry, r)
+  | Cminor.Eunop (op, a) ->
+    let r = fresh_reg st in
+    let opn = reserve st in
+    let entry, ra = tr_expr st a opn in
+    set_instr st opn (Rtl.Iop (Rtl.Ounop (op, ra), r, nd));
+    (entry, r)
+  | Cminor.Ebinop_imm (op, a, n) ->
+    let r = fresh_reg st in
+    let opn = reserve st in
+    let entry, ra = tr_expr st a opn in
+    set_instr st opn (Rtl.Iop (Rtl.Obinop_imm (op, ra, n), r, nd));
+    (entry, r)
+  | Cminor.Ebinop (op, a, b) ->
+    let r = fresh_reg st in
+    let opn = reserve st in
+    let nb, rb = tr_expr st b opn in
+    let na, ra = tr_expr st a nb in
+    set_instr st opn (Rtl.Iop (Rtl.Obinop (op, ra, rb), r, nd));
+    (na, r)
+
+(** Evaluate [args] left-to-right into registers, continuing to the node
+    built by [k] from the argument registers. *)
+let tr_args st (args : Cminor.expr list) (k : Rtl.reg list -> Rtl.node) :
+    Rtl.node =
+  let rec go acc = function
+    | [] -> k (List.rev acc)
+    | e :: rest ->
+      (* build the rest first (backwards), then this argument *)
+      let later r = go (r :: acc) rest in
+      let placeholder = reserve st in
+      let entry, r = tr_expr st e placeholder in
+      let rest_entry = later r in
+      set_instr st placeholder (Rtl.Inop rest_entry);
+      entry
+  in
+  go [] args
+
+let rec tr_stmt st (s : Cminor.stmt) (nd : Rtl.node) : Rtl.node =
+  match s with
+  | Cminor.Sskip -> nd
+  | Cminor.Sset (x, e) ->
+    let rx = temp_reg st x in
+    let mv = reserve st in
+    let entry, re = tr_expr st e mv in
+    set_instr st mv (Rtl.Iop (Rtl.Omove re, rx, nd));
+    entry
+  | Cminor.Sstore (a, e) ->
+    let store = reserve st in
+    let ne, re = tr_expr st e store in
+    let na, ra = tr_expr st a ne in
+    set_instr st store (Rtl.Istore (ra, 0, re, nd));
+    na
+  | Cminor.Scall (dst, g, args) ->
+    let dreg = Option.map (temp_reg st) dst in
+    tr_args st args (fun regs -> add_instr st (Rtl.Icall (g, regs, dreg, nd)))
+  | Cminor.Sseq (a, b) -> tr_stmt st a (tr_stmt st b nd)
+  | Cminor.Sif (e, a, b) ->
+    let na = tr_stmt st a nd in
+    let nb = tr_stmt st b nd in
+    let cond = reserve st in
+    let entry, re = tr_expr st e cond in
+    set_instr st cond (Rtl.Icond (re, na, nb));
+    entry
+  | Cminor.Swhile (e, body) ->
+    let head = reserve st in
+    let body_entry = tr_stmt st body head in
+    let cond = reserve st in
+    let test_entry, re = tr_expr st e cond in
+    set_instr st cond (Rtl.Icond (re, body_entry, nd));
+    set_instr st head (Rtl.Inop test_entry);
+    head
+  | Cminor.Sreturn None -> add_instr st (Rtl.Ireturn None)
+  | Cminor.Sreturn (Some e) ->
+    let ret = reserve st in
+    let entry, re = tr_expr st e ret in
+    set_instr st ret (Rtl.Ireturn (Some re));
+    entry
+
+let tr_func (f : Cminor.func) : Rtl.func =
+  let st = { next_reg = 0; next_node = 1; code = IMap.empty; temps = [] } in
+  let params = List.map (temp_reg st) f.Cminor.fparams in
+  let implicit_ret = add_instr st (Rtl.Ireturn None) in
+  let entry = tr_stmt st f.Cminor.fbody implicit_ret in
+  {
+    Rtl.fname = f.Cminor.fname;
+    fparams = params;
+    stacksize = f.Cminor.stacksize;
+    entry;
+    code = st.code;
+  }
+
+let compile (p : Cminor.program) : Rtl.program =
+  { Rtl.funcs = List.map tr_func p.Cminor.funcs; globals = p.Cminor.globals }

@@ -1,0 +1,62 @@
+(** Selection: Cminor → CminorSel (Fig. 11). Instruction selection on
+    expressions: constant operands of binary operators are folded into the
+    machine-friendly immediate form [Ebinop_imm] (commuting the operands
+    of commutative operators when the constant is on the left), and
+    constant subexpressions are evaluated.
+
+    This is the pass whose correctness lemma appears as Fig. 12 in the
+    paper ([sel_expr_correct]): the selected expression must evaluate to a
+    related value *with a footprint included in the source's*. Our
+    rewrites never introduce loads, so the footprint can only shrink. *)
+
+open Cas_langs
+
+let commutative = function
+  | Ops.Oadd | Ops.Omul | Ops.Oand | Ops.Oor | Ops.Oxor | Ops.Oeq | Ops.One ->
+    true
+  | _ -> false
+
+let rec sel_expr (e : Cminor.expr) : Cminor.expr =
+  match e with
+  | Cminor.Econst _ | Cminor.Etemp _ | Cminor.Eaddr_global _
+  | Cminor.Eaddr_stack _ ->
+    e
+  | Cminor.Eload e -> Cminor.Eload (sel_expr e)
+  | Cminor.Eunop (op, a) -> (
+    let a = sel_expr a in
+    match (op, a) with
+    | op, Cminor.Econst n -> (
+      match Ops.eval_unop op (Cas_base.Value.Vint n) with
+      | Cas_base.Value.Vint m -> Cminor.Econst m
+      | _ -> Cminor.Eunop (op, a))
+    | _ -> Cminor.Eunop (op, a))
+  | Cminor.Ebinop_imm (op, a, n) -> Cminor.Ebinop_imm (op, sel_expr a, n)
+  | Cminor.Ebinop (op, a, b) -> (
+    let a = sel_expr a in
+    let b = sel_expr b in
+    match (a, b) with
+    | Cminor.Econst x, Cminor.Econst y -> (
+      match Ops.const_binop op x y with
+      | Some n -> Cminor.Econst n
+      | None -> Cminor.Ebinop (op, a, b))
+    | _, Cminor.Econst n -> Cminor.Ebinop_imm (op, a, n)
+    | Cminor.Econst n, _ when commutative op -> Cminor.Ebinop_imm (op, b, n)
+    | _ -> Cminor.Ebinop (op, a, b))
+
+let rec sel_stmt (s : Cminor.stmt) : Cminor.stmt =
+  match s with
+  | Cminor.Sskip -> s
+  | Cminor.Sset (x, e) -> Cminor.Sset (x, sel_expr e)
+  | Cminor.Sstore (a, e) -> Cminor.Sstore (sel_expr a, sel_expr e)
+  | Cminor.Scall (dst, g, args) -> Cminor.Scall (dst, g, List.map sel_expr args)
+  | Cminor.Sseq (a, b) -> Cminor.Sseq (sel_stmt a, sel_stmt b)
+  | Cminor.Sif (e, a, b) -> Cminor.Sif (sel_expr e, sel_stmt a, sel_stmt b)
+  | Cminor.Swhile (e, s) -> Cminor.Swhile (sel_expr e, sel_stmt s)
+  | Cminor.Sreturn None -> s
+  | Cminor.Sreturn (Some e) -> Cminor.Sreturn (Some (sel_expr e))
+
+let tr_func (f : Cminor.func) : Cminor.func =
+  { f with Cminor.fbody = sel_stmt f.Cminor.fbody }
+
+let compile (p : Cminor.program) : Cminor.program =
+  { p with Cminor.funcs = List.map tr_func p.Cminor.funcs }

@@ -1,0 +1,92 @@
+(** SimplLocals: Clight → Clight. Scalar local variables whose address is
+    never taken are pulled out of memory into temporaries — CompCert's
+    SimplLocals pass, which front-ends the pipeline of Fig. 11.
+
+    This pass *shrinks* footprints (promoted variables stop generating
+    loads and stores), the archetypal legal direction under FPmatch: the
+    target may access less than the source. *)
+
+open Cas_langs
+
+module SSet = Set.Make (String)
+
+let rec addressed_expr (e : Clight.expr) : SSet.t =
+  match e with
+  | Clight.Econst _ | Clight.Etemp _ | Clight.Evar _ | Clight.Eglob _ ->
+    SSet.empty
+  | Clight.Eaddrof x -> SSet.singleton x
+  | Clight.Ederef e | Clight.Eunop (_, e) -> addressed_expr e
+  | Clight.Ebinop (_, a, b) -> SSet.union (addressed_expr a) (addressed_expr b)
+
+let rec addressed_stmt (s : Clight.stmt) : SSet.t =
+  match s with
+  | Clight.Sskip | Clight.Sreturn None -> SSet.empty
+  | Clight.Sassign (l, e) ->
+    let la =
+      match l with
+      | Clight.Lderef e -> addressed_expr e
+      | Clight.Lvar _ | Clight.Lglob _ -> SSet.empty
+    in
+    SSet.union la (addressed_expr e)
+  | Clight.Sset (_, e) | Clight.Sreturn (Some e) -> addressed_expr e
+  | Clight.Scall (_, _, args) ->
+    List.fold_left
+      (fun acc e -> SSet.union acc (addressed_expr e))
+      SSet.empty args
+  | Clight.Sseq (a, b) -> SSet.union (addressed_stmt a) (addressed_stmt b)
+  | Clight.Sif (e, a, b) ->
+    SSet.union (addressed_expr e)
+      (SSet.union (addressed_stmt a) (addressed_stmt b))
+  | Clight.Swhile (e, s) -> SSet.union (addressed_expr e) (addressed_stmt s)
+
+let rec promote_expr (promoted : SSet.t) (e : Clight.expr) : Clight.expr =
+  match e with
+  | Clight.Evar x when SSet.mem x promoted -> Clight.Etemp x
+  | Clight.Econst _ | Clight.Etemp _ | Clight.Evar _ | Clight.Eglob _
+  | Clight.Eaddrof _ ->
+    e
+  | Clight.Ederef e -> Clight.Ederef (promote_expr promoted e)
+  | Clight.Eunop (op, e) -> Clight.Eunop (op, promote_expr promoted e)
+  | Clight.Ebinop (op, a, b) ->
+    Clight.Ebinop (op, promote_expr promoted a, promote_expr promoted b)
+
+let rec promote_stmt (promoted : SSet.t) (s : Clight.stmt) : Clight.stmt =
+  let pe = promote_expr promoted in
+  match s with
+  | Clight.Sskip -> s
+  | Clight.Sassign (Clight.Lvar x, e) when SSet.mem x promoted ->
+    Clight.Sset (x, pe e)
+  | Clight.Sassign (l, e) ->
+    let l =
+      match l with
+      | Clight.Lderef a -> Clight.Lderef (pe a)
+      | l -> l
+    in
+    Clight.Sassign (l, pe e)
+  | Clight.Sset (x, e) -> Clight.Sset (x, pe e)
+  | Clight.Scall (dst, f, args) -> Clight.Scall (dst, f, List.map pe args)
+  | Clight.Sseq (a, b) -> Clight.Sseq (promote_stmt promoted a, promote_stmt promoted b)
+  | Clight.Sif (e, a, b) ->
+    Clight.Sif (pe e, promote_stmt promoted a, promote_stmt promoted b)
+  | Clight.Swhile (e, s) -> Clight.Swhile (pe e, promote_stmt promoted s)
+  | Clight.Sreturn None -> s
+  | Clight.Sreturn (Some e) -> Clight.Sreturn (Some (pe e))
+
+let tr_func (f : Clight.func) : Clight.func =
+  let addressed = addressed_stmt f.Clight.fbody in
+  let promoted =
+    List.filter_map
+      (fun (x, size) ->
+        if size = 1 && not (SSet.mem x addressed) then Some x else None)
+      f.Clight.fvars
+    |> SSet.of_list
+  in
+  {
+    f with
+    Clight.fvars =
+      List.filter (fun (x, _) -> not (SSet.mem x promoted)) f.Clight.fvars;
+    fbody = promote_stmt promoted f.Clight.fbody;
+  }
+
+let compile (p : Clight.program) : Clight.program =
+  { p with Clight.funcs = List.map tr_func p.Clight.funcs }

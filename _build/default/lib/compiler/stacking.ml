@@ -1,0 +1,100 @@
+(** Stacking: Linear → Mach (Fig. 11). Abstract stack slots become
+    concrete cells of the activation record; slot accesses become
+    Mgetstack/Msetstack. The Allocation pass guarantees the slot
+    discipline this pass expects (slots appear only in moves to/from
+    registers); violations raise [Bad_linear].
+
+    In the paper's proof effort (Fig. 13), Stacking was the most expensive
+    pass to adapt, because of argument marshalling for cross-language
+    linking — the same concern our fixed conventional-register calling
+    convention resolves. *)
+
+open Cas_langs
+
+exception Bad_linear of string
+
+let bad fmt = Fmt.kstr (fun s -> raise (Bad_linear s)) fmt
+
+let max_slot (code : Linearl.instr list) : int =
+  let m = ref (-1) in
+  let loc = function Mreg.S i -> m := max !m i | Mreg.R _ -> () in
+  let op o = List.iter loc (Mreg.gop_uses o) in
+  List.iter
+    (function
+      | Linearl.Lop (o, d) ->
+        op o;
+        loc d
+      | Linearl.Lload (d, _, r) ->
+        loc d;
+        loc r
+      | Linearl.Lstore (r, _, s) ->
+        loc r;
+        loc s
+      | Linearl.Lcall (_, args, dst) ->
+        List.iter loc args;
+        Option.iter loc dst
+      | Linearl.Ltailcall (_, args) -> List.iter loc args
+      | Linearl.Lcond (r, _) -> loc r
+      | Linearl.Lreturn (Some r) -> loc r
+      | Linearl.Lreturn None | Linearl.Llabel _ | Linearl.Lgoto _ -> ())
+    code;
+  !m
+
+let as_reg what = function
+  | Mreg.R r -> r
+  | Mreg.S i -> bad "%s uses slot s%d directly" what i
+
+let tr_instr (i : Linearl.instr) : Machl.instr =
+  match i with
+  | Linearl.Lop (Mreg.Gmove (Mreg.S i), Mreg.R r) -> Machl.Mgetstack (i, r)
+  | Linearl.Lop (Mreg.Gmove (Mreg.R r), Mreg.S i) -> Machl.Msetstack (r, i)
+  | Linearl.Lop (op, d) ->
+    let op' = Mreg.map_gop (as_reg "operator") op in
+    Machl.Mop (op', as_reg "operator destination" d)
+  | Linearl.Lload (d, ofs, r) ->
+    Machl.Mload (as_reg "load dest" d, ofs, as_reg "load addr" r)
+  | Linearl.Lstore (r, ofs, s) ->
+    Machl.Mstore (as_reg "store addr" r, ofs, as_reg "store src" s)
+  | Linearl.Lcall (g, args, dst) ->
+    let arity = List.length args in
+    List.iteri
+      (fun i l ->
+        match (l, List.nth_opt Mreg.arg_regs i) with
+        | Mreg.R r, Some conv when Mreg.equal r conv -> ()
+        | _ -> bad "call argument %d of %s not in conventional register" i g)
+      args;
+    let has_res =
+      match dst with
+      | None -> false
+      | Some (Mreg.R r) when Mreg.equal r Mreg.res_reg -> true
+      | Some l -> bad "call result in %a" Mreg.pp_loc l
+    in
+    Machl.Mcall (g, arity, has_res)
+  | Linearl.Ltailcall (g, args) ->
+    List.iteri
+      (fun i l ->
+        match (l, List.nth_opt Mreg.arg_regs i) with
+        | Mreg.R r, Some conv when Mreg.equal r conv -> ()
+        | _ -> bad "tailcall argument %d of %s not conventional" i g)
+      args;
+    Machl.Mtailcall (g, List.length args)
+  | Linearl.Llabel l -> Machl.Mlabel l
+  | Linearl.Lgoto l -> Machl.Mgoto l
+  | Linearl.Lcond (r, l) -> Machl.Mcond (as_reg "branch condition" r, l)
+  | Linearl.Lreturn None -> Machl.Mreturn false
+  | Linearl.Lreturn (Some (Mreg.R r)) when Mreg.equal r Mreg.res_reg ->
+    Machl.Mreturn true
+  | Linearl.Lreturn (Some l) -> bad "return value in %a" Mreg.pp_loc l
+
+let tr_func (f : Linearl.func) : Machl.func =
+  let arity = List.length f.Linearl.fparams in
+  {
+    Machl.fname = f.Linearl.fname;
+    arity;
+    stacksize = f.Linearl.stacksize;
+    nslots = max_slot f.Linearl.code + 1;
+    code = List.map tr_instr f.Linearl.code;
+  }
+
+let compile (p : Linearl.program) : Machl.program =
+  { Machl.funcs = List.map tr_func p.Linearl.funcs; globals = p.Linearl.globals }

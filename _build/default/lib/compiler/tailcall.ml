@@ -1,0 +1,36 @@
+(** Tailcall: RTL → RTL (Fig. 11). A call immediately followed by a return
+    of its result, in a function with an empty stack frame, becomes a tail
+    call: the caller's frame is reused.
+
+    Observable effect: the call stack stays flat, which the examples can
+    demonstrate, while event traces are preserved — the property the
+    footprint-preserving simulation checks. *)
+
+open Cas_langs
+module IMap = Rtl.IMap
+
+let returns_result (code : Rtl.instr IMap.t) (n : Rtl.node)
+    (dst : Rtl.reg option) =
+  match IMap.find_opt n code with
+  | Some (Rtl.Ireturn ro) -> (
+    match (dst, ro) with
+    | Some d, Some r -> d = r
+    | None, None -> true
+    | None, Some _ | Some _, None -> false)
+  | _ -> false
+
+let tr_func (f : Rtl.func) : Rtl.func =
+  if f.Rtl.stacksize <> 0 then f
+  else
+    let code =
+      IMap.map
+        (function
+          | Rtl.Icall (g, args, dst, n) when returns_result f.Rtl.code n dst ->
+            Rtl.Itailcall (g, args)
+          | i -> i)
+        f.Rtl.code
+    in
+    { f with Rtl.code }
+
+let compile (p : Rtl.program) : Rtl.program =
+  { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }

@@ -1,0 +1,35 @@
+(** Tunneling: LTL → LTL (Fig. 11). Branches that target chains of no-ops
+    are redirected to the end of the chain, removing interior hops. *)
+
+open Cas_langs
+module IMap = Ltl.IMap
+
+let resolve (code : Ltl.instr IMap.t) (n : Ltl.node) : Ltl.node =
+  let rec go n seen =
+    if List.mem n seen then n
+    else
+      match IMap.find_opt n code with
+      | Some (Ltl.Lnop m) -> go m (n :: seen)
+      | _ -> n
+  in
+  go n []
+
+let tr_func (f : Ltl.func) : Ltl.func =
+  let t n = resolve f.Ltl.code n in
+  let code =
+    IMap.map
+      (function
+        | Ltl.Lnop n -> Ltl.Lnop (t n)
+        | Ltl.Lop (op, d, n) -> Ltl.Lop (op, d, t n)
+        | Ltl.Lload (d, ofs, r, n) -> Ltl.Lload (d, ofs, r, t n)
+        | Ltl.Lstore (r, ofs, s, n) -> Ltl.Lstore (r, ofs, s, t n)
+        | Ltl.Lcall (g, args, dst, n) -> Ltl.Lcall (g, args, dst, t n)
+        | Ltl.Ltailcall (g, args) -> Ltl.Ltailcall (g, args)
+        | Ltl.Lcond (r, n1, n2) -> Ltl.Lcond (r, t n1, t n2)
+        | Ltl.Lreturn ro -> Ltl.Lreturn ro)
+      f.Ltl.code
+  in
+  { f with Ltl.entry = t f.Ltl.entry; code }
+
+let compile (p : Ltl.program) : Ltl.program =
+  { p with Ltl.funcs = List.map tr_func p.Ltl.funcs }

@@ -1,0 +1,1 @@
+lib/conc/explore.ml: Cas_base Event Fmt Gsem Hashtbl List Map Queue Set String World

@@ -1,0 +1,1 @@
+lib/conc/gsem.ml: Cas_base Footprint List World

@@ -1,0 +1,1 @@
+lib/conc/nonpreemptive.ml: Cas_base Footprint Gsem List Msg World

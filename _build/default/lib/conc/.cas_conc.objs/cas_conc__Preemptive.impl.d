@@ -1,0 +1,1 @@
+lib/conc/preemptive.ml: Cas_base Footprint Gsem List Msg World

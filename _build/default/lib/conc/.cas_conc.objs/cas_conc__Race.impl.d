@@ -1,0 +1,1 @@
+lib/conc/race.ml: Cas_base Explore Fmt Footprint Gsem List Msg Nonpreemptive Option Preemptive World

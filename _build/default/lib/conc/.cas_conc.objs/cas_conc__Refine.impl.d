@@ -1,0 +1,1 @@
+lib/conc/refine.ml: Cas_base Event Explore Fmt Gsem Lang List World

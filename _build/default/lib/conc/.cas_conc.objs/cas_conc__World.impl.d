@@ -1,0 +1,1 @@
+lib/conc/world.ml: Buffer Cas_base Event Flist Fmt Footprint Genv Int Lang List Map Memory Msg Option Value

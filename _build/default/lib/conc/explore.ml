@@ -1,0 +1,224 @@
+(** Bounded-exhaustive state-space exploration: the engine behind every
+    empirical check in this reproduction (DRF, trace refinement, the
+    preemptive/non-preemptive equivalence, and the TSO machine of §7.3).
+    It is generic in the world type; [Cas_tso] instantiates it with
+    store-buffer worlds. Worlds are memoized by canonical fingerprint. *)
+
+open Cas_base
+
+(** A transition system over worlds of type ['w]. *)
+type 'w gsucc = GNext of World.gmsg * 'w | GAbort
+
+type 'w system = {
+  fingerprint : 'w -> string;
+  all_done : 'w -> bool;
+  steps : 'w -> 'w gsucc list;
+}
+
+type stats = {
+  visited : int;  (** distinct worlds reached *)
+  transitions : int;
+  truncated : bool;  (** hit the world cap — results are partial *)
+  abort_reachable : bool;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d worlds, %d transitions%s%s" s.visited s.transitions
+    (if s.truncated then " (truncated)" else "")
+    (if s.abort_reachable then " (abort reachable)" else "")
+
+(** Breadth-first reachability. [visit] is called once per distinct world. *)
+let reachable_gen ?(max_worlds = 200_000) (sys : 'w system)
+    (initials : 'w list) ~(visit : 'w -> unit) : stats =
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let truncated = ref false in
+  let abort = ref false in
+  let push w =
+    let fp = sys.fingerprint w in
+    if not (Hashtbl.mem seen fp) then
+      if Hashtbl.length seen >= max_worlds then truncated := true
+      else begin
+        Hashtbl.add seen fp ();
+        Queue.add w queue
+      end
+  in
+  List.iter push initials;
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    visit w;
+    List.iter
+      (fun s ->
+        incr transitions;
+        match s with
+        | GAbort -> abort := true
+        | GNext (_, w') -> push w')
+      (sys.steps w)
+  done;
+  {
+    visited = Hashtbl.length seen;
+    transitions = !transitions;
+    truncated = !truncated;
+    abort_reachable = !abort;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Trace enumeration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Termination status of an enumerated execution: [SDone] — all threads
+    finished; [SAbort] — some thread aborted; [SCut] — the execution was
+    cut at a cycle or at the step budget (a divergent or unfinished
+    schedule). *)
+type status = SDone | SAbort | SCut
+
+type trace = Event.t list * status
+
+let pp_status ppf = function
+  | SDone -> Fmt.string ppf "done"
+  | SAbort -> Fmt.string ppf "abort"
+  | SCut -> Fmt.string ppf "..."
+
+let pp_trace ppf (es, st) =
+  Fmt.pf ppf "[%a]%a" Fmt.(list ~sep:comma Event.pp) es pp_status st
+
+let trace_key (es, st) =
+  String.concat ","
+    (List.map Event.to_string es
+    @ [ (match st with SDone -> "$D" | SAbort -> "$A" | SCut -> "$C") ])
+
+module TraceSet = struct
+  module M = Map.Make (String)
+
+  type t = trace M.t
+
+  let empty : t = M.empty
+  let add tr s = M.add (trace_key tr) tr s
+  let mem tr s = M.mem (trace_key tr) s
+  let elements (s : t) = List.map snd (M.bindings s)
+  let cardinal = M.cardinal
+  let union a b = M.union (fun _ x _ -> Some x) a b
+  let subset a b = M.for_all (fun k _ -> M.mem k b) a
+  let equal a b = subset a b && subset b a
+  let filter f (s : t) = M.filter (fun _ tr -> f tr) s
+
+  let pp ppf s =
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_trace) (elements s)
+end
+
+type trace_result = {
+  traces : TraceSet.t;
+  complete : bool;
+      (** false if the path/step budget was exhausted anywhere *)
+}
+
+(** Enumerate event traces along cycle-free schedule paths (depth-first,
+    cutting when a world repeats on the current path — the continuation
+    is a divergent schedule — or when budgets are exhausted). *)
+let traces_gen ?(max_steps = 4000) ?(max_paths = 200_000) (sys : 'w system)
+    (initials : 'w list) : trace_result =
+  let module SSet = Set.Make (String) in
+  let acc = ref TraceSet.empty in
+  let paths = ref 0 in
+  let complete = ref true in
+  let emit tr = acc := TraceSet.add tr !acc in
+  let rec go w on_path events budget =
+    if !paths > max_paths then complete := false
+    else if budget = 0 then begin
+      complete := false;
+      emit (List.rev events, SCut)
+    end
+    else if sys.all_done w then emit (List.rev events, SDone)
+    else
+      let fp = sys.fingerprint w in
+      if SSet.mem fp on_path then emit (List.rev events, SCut)
+      else begin
+        let succs = sys.steps w in
+        if succs = [] then emit (List.rev events, SCut)
+        else
+          List.iter
+            (fun s ->
+              incr paths;
+              match s with
+              | GAbort -> emit (List.rev events, SAbort)
+              | GNext (gmsg, w') ->
+                let events' =
+                  match gmsg with
+                  | World.Gevt e -> e :: events
+                  | World.Gtau | World.Gsw -> events
+                in
+                go w' (SSet.add fp on_path) events' (budget - 1))
+            succs
+      end
+  in
+  List.iter (fun w -> go w SSet.empty [] max_steps) initials;
+  { traces = !acc; complete = !complete }
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation for the interleaving worlds of [World]                *)
+(* ------------------------------------------------------------------ *)
+
+let world_system (step : Gsem.stepf) : World.t system =
+  {
+    fingerprint = World.fingerprint;
+    all_done = World.all_done;
+    steps =
+      (fun w ->
+        List.map
+          (function
+            | Gsem.Abort -> GAbort
+            | Gsem.Next (g, _, w') -> GNext (g, w'))
+          (step w));
+  }
+
+let reachable ?max_worlds (step : Gsem.stepf) (initials : World.t list)
+    ~(visit : World.t -> unit) : stats =
+  reachable_gen ?max_worlds (world_system step) initials ~visit
+
+let traces ?max_steps ?max_paths (step : Gsem.stepf) (initials : World.t list)
+    : trace_result =
+  traces_gen ?max_steps ?max_paths (world_system step) initials
+
+(* ------------------------------------------------------------------ *)
+(* Product search: event-property reachability                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Breadth-first search over the product of the world graph with a
+    user-supplied event automaton: [step_state] folds observable events
+    into a monitor state, and the search reports whether a world with an
+    [accept]ing monitor state is reachable. Unlike [traces_gen], this is
+    memoized over (world, monitor-state) pairs, so properties of the
+    event *language* (e.g. "two critical-section entries overlap") can be
+    decided on graphs whose path trees are astronomically large. *)
+let search (sys : 'w system) (initials : 'w list) ~(init : 's)
+    ~(step_state : 's -> Event.t -> 's) ~(accept : 's -> bool)
+    ~(state_fp : 's -> string) ?(max_worlds = 500_000) () : bool =
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let found = ref false in
+  let push w st =
+    let fp = sys.fingerprint w ^ "#" ^ state_fp st in
+    if (not (Hashtbl.mem seen fp)) && Hashtbl.length seen < max_worlds then begin
+      Hashtbl.add seen fp ();
+      Queue.add (w, st) queue
+    end
+  in
+  List.iter (fun w -> push w init) initials;
+  while (not !found) && not (Queue.is_empty queue) do
+    let w, st = Queue.pop queue in
+    if accept st then found := true
+    else
+      List.iter
+        (function
+          | GAbort -> ()
+          | GNext (gmsg, w') ->
+            let st' =
+              match gmsg with
+              | World.Gevt e -> step_state st e
+              | World.Gtau | World.Gsw -> st
+            in
+            if accept st' then found := true else push w' st')
+        (sys.steps w)
+  done;
+  !found

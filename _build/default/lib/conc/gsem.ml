@@ -1,0 +1,20 @@
+(** Global transition interface shared by the preemptive and
+    non-preemptive semantics: a world steps to a set of successors, each
+    labelled with a global message o ::= τ | e | sw and a footprint. *)
+
+open Cas_base
+
+type succ =
+  | Next of World.gmsg * Footprint.t * World.t
+  | Abort
+
+(** A global semantics is a successor function. *)
+type stepf = World.t -> succ list
+
+(** Both semantics choose the initial thread nondeterministically
+    (t ∈ dom(T) in the Load rule), so exploration starts from one world
+    per choice of initial thread. *)
+let initials (w : World.t) : World.t list =
+  match World.live_tids w with
+  | [] -> [ w ]
+  | tids -> List.map (fun t -> { w with cur = t }) tids

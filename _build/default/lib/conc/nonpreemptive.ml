@@ -1,0 +1,56 @@
+(** The global non-preemptive semantics (§3.3): the current thread runs
+    without interruption; context switches happen only at synchronization
+    points — atomic block boundaries (the EntAtnp/ExtAtnp rules of
+    Fig. 7), observable events, and thread termination. Each switch-point
+    step is immediately followed by a nondeterministic choice of the next
+    thread, producing the sw-labelled combined steps of the paper. *)
+
+open Cas_base
+
+let is_switch_msg = function
+  | Msg.EntAtom | Msg.ExtAtom | Msg.Evt _ -> true
+  | Msg.Ret _ -> true (* only thread termination reaches the global level *)
+  | Msg.Tau | Msg.Call _ | Msg.TailCall _ -> false
+
+let gmsg_of_local : Msg.t -> World.gmsg = function
+  | Msg.Evt e -> World.Gevt e
+  | _ -> World.Gtau
+
+(** Was this Ret the termination of the whole thread (rather than an
+    internal frame pop)? We detect it on the successor world. *)
+let thread_terminated (w' : World.t) tid =
+  match World.IMap.find_opt tid w'.threads with
+  | Some t -> World.thread_done t
+  | None -> true
+
+let steps (w : World.t) : Gsem.succ list =
+  let cur_live = List.mem w.cur (World.live_tids w) in
+  if not cur_live then
+    (* The current thread just terminated elsewhere; in well-formed
+       executions the terminating step already switched. Allow recovery
+       switches so exploration never wedges. *)
+    World.live_tids w
+    |> List.map (fun t ->
+           Gsem.Next (World.Gsw, Footprint.empty, { w with cur = t }))
+  else
+    List.concat_map
+      (function
+        | World.LAbort -> [ Gsem.Abort ]
+        | World.LNext (msg, fp, w') ->
+          let switching =
+            match msg with
+            | Msg.Ret _ -> thread_terminated w' w.cur
+            | m -> is_switch_msg m
+          in
+          if not switching then [ Gsem.Next (gmsg_of_local msg, fp, w') ]
+          else
+            (* the step and the switch are one combined transition *)
+            let targets =
+              match World.live_tids w' with
+              | [] -> [ w'.cur ] (* everyone done; stay *)
+              | ts -> ts
+            in
+            List.map
+              (fun t -> Gsem.Next (gmsg_of_local msg, fp, { w' with cur = t }))
+              targets)
+      (World.local_steps w w.cur)

@@ -1,0 +1,36 @@
+(** The global preemptive semantics (Fig. 7): the current thread takes
+    local steps; the Switch rule allows a context switch to any live
+    thread at any point where the current thread is outside atomic
+    blocks. *)
+
+open Cas_base
+
+let gmsg_of_local : Msg.t -> World.gmsg = function
+  | Msg.Evt e -> World.Gevt e
+  | Msg.Tau | Msg.Ret _ | Msg.EntAtom | Msg.ExtAtom | Msg.Call _
+  | Msg.TailCall _ ->
+    World.Gtau
+
+let steps (w : World.t) : Gsem.succ list =
+  let cur_live =
+    match World.live_tids w with tids -> List.mem w.cur tids
+  in
+  let local =
+    if cur_live then
+      List.map
+        (function
+          | World.LAbort -> Gsem.Abort
+          | World.LNext (msg, fp, w') -> Gsem.Next (gmsg_of_local msg, fp, w'))
+        (World.local_steps w w.cur)
+    else []
+  in
+  let switches =
+    (* Switch: only outside atomic blocks (d = 0). *)
+    if World.dbit w w.cur then []
+    else
+      World.live_tids w
+      |> List.filter (fun t -> t <> w.cur)
+      |> List.map (fun t ->
+             Gsem.Next (World.Gsw, Footprint.empty, { w with cur = t }))
+  in
+  local @ switches

@@ -1,0 +1,158 @@
+(** The race predictor and data-race-freedom (Fig. 9, §5).
+
+    [predict w t] computes the instrumented footprints (δ, d) the rules
+    Predict-0 and Predict-1 derive for thread [t] in world [w]:
+    - Predict-0: the footprint of any immediate next step of a thread that
+      is outside atomic blocks, paired with bit 0;
+    - Predict-1: when the next step enters an atomic block, the
+      accumulated footprint of the silent run of the whole block, paired
+      with bit 1. (Conflict is monotone in the footprint, so checking the
+      maximal accumulated footprint covers every prefix the paper's τ*
+      allows.)
+
+    A world predicts a race when two distinct threads have conflicting
+    instrumented footprints ((δ1,d1) ⌢ (δ2,d2), §5). DRF(P) then means no
+    reachable world predicts a race. *)
+
+open Cas_base
+
+type prediction = Footprint.t * bool
+
+(** Accumulated footprint of the atomic block entered by the given
+    successor world (thread [tid] just performed EntAtom). *)
+let atomic_block_fp (w : World.t) tid ~bound : Footprint.t =
+  let rec go w acc bound =
+    if bound = 0 then acc
+    else
+      let succs = World.local_steps w tid in
+      List.fold_left
+        (fun acc s ->
+          match s with
+          | World.LAbort -> acc
+          | World.LNext (Msg.ExtAtom, fp, _) -> Footprint.union acc fp
+          | World.LNext (_, fp, w') ->
+            go w' (Footprint.union acc fp) (bound - 1))
+        acc succs
+  in
+  go w Footprint.empty bound
+
+let predict ?(atomic_bound = 1000) (w : World.t) (tid : int) : prediction list =
+  if World.dbit w tid then []
+  else
+    List.concat_map
+      (function
+        | World.LAbort -> []
+        | World.LNext (Msg.EntAtom, fp, w') ->
+          [ (Footprint.union fp (atomic_block_fp w' tid ~bound:atomic_bound), true) ]
+        | World.LNext (_, fp, _) ->
+          if Footprint.is_empty fp then [] else [ (fp, false) ])
+      (World.local_steps w tid)
+
+(** Region-based prediction for the non-preemptive setting (§5, after
+    Xiao et al.'s NP race notion): under non-preemptive scheduling a
+    thread executes a whole *region* — the silent run up to its next
+    switch point — without interruption, so NPDRF must compare the
+    accumulated footprints of regions, not of single steps (single-step
+    prediction would miss every race hidden inside a region, and
+    DRF ⇔ NPDRF would fail). If the region ends by entering an atomic
+    block, the block's own footprint is predicted separately with bit 1,
+    as in Predict-1. *)
+let predict_np ?(region_bound = 1000) (w : World.t) (tid : int) :
+    prediction list =
+  if World.dbit w tid then []
+  else
+    let preds = ref [] in
+    let rec run w acc bound =
+      if bound = 0 then preds := (acc, false) :: !preds
+      else
+        let succs = World.local_steps w tid in
+        if succs = [] then preds := (acc, false) :: !preds
+        else
+          List.iter
+            (function
+              | World.LAbort -> preds := (acc, false) :: !preds
+              | World.LNext (Msg.EntAtom, fp, w') ->
+                let acc = Footprint.union acc fp in
+                preds := (acc, false) :: !preds;
+                preds :=
+                  ( Footprint.union acc
+                      (atomic_block_fp w' tid ~bound:region_bound),
+                    true )
+                  :: !preds
+              | World.LNext (msg, fp, w') ->
+                let acc = Footprint.union acc fp in
+                if Msg.is_switch_point msg then preds := (acc, false) :: !preds
+                else run w' acc (bound - 1))
+            succs
+    in
+    run w Footprint.empty region_bound;
+    !preds
+
+(** Does world [w] predict a data race (the Race rule of Fig. 9)? Returns
+    the witnessing threads and footprints if so. [predictor] selects
+    single-step prediction (preemptive DRF) or region prediction
+    (NPDRF). *)
+let race_witness ?(predictor = fun w t -> predict w t) (w : World.t) :
+    (int * prediction * int * prediction) option =
+  let tids = World.live_tids w in
+  let preds = List.map (fun t -> (t, predictor w t)) tids in
+  let rec pairs = function
+    | [] -> None
+    | (t1, p1) :: rest ->
+      let hit =
+        List.find_map
+          (fun (t2, p2) ->
+            List.find_map
+              (fun pr1 ->
+                List.find_map
+                  (fun pr2 ->
+                    if Footprint.conflict_bits pr1 pr2 then
+                      Some (t1, pr1, t2, pr2)
+                    else None)
+                  p2)
+              p1)
+          rest
+      in
+      (match hit with Some _ -> hit | None -> pairs rest)
+  in
+  pairs preds
+
+let races (w : World.t) = Option.is_some (race_witness w)
+let races_np (w : World.t) =
+  Option.is_some (race_witness ~predictor:(fun w t -> predict_np w t) w)
+
+type drf_report = {
+  drf : bool;
+  witness : (int * prediction * int * prediction) option;
+  stats : Explore.stats;
+}
+
+let pp_drf_report ppf r =
+  match r.witness with
+  | None -> Fmt.pf ppf "DRF (%a)" Explore.pp_stats r.stats
+  | Some (t1, (d1, b1), t2, (d2, b2)) ->
+    Fmt.pf ppf "RACE between T%d %a[%b] and T%d %a[%b] (%a)" t1 Footprint.pp d1
+      b1 t2 Footprint.pp d2 b2 Explore.pp_stats r.stats
+
+(** DRF of a loaded world under a given global semantics: explore the
+    reachable worlds and apply the race predictor to each. Instantiated
+    with [Preemptive.steps] this is DRF(P); with [Nonpreemptive.steps] it
+    is NPDRF(P) (§5). *)
+let check ?(max_worlds = 200_000) ?predictor (step : Gsem.stepf)
+    (w0 : World.t) : drf_report =
+  let witness = ref None in
+  let stats =
+    Explore.reachable ~max_worlds step (Gsem.initials w0) ~visit:(fun w ->
+        if !witness = None then
+          match race_witness ?predictor w with
+          | Some wt -> witness := Some wt
+          | None -> ())
+  in
+  { drf = !witness = None; witness = !witness; stats }
+
+let drf ?max_worlds w0 = check ?max_worlds Preemptive.steps w0
+
+let npdrf ?max_worlds w0 =
+  check ?max_worlds
+    ~predictor:(fun w t -> predict_np w t)
+    Nonpreemptive.steps w0

@@ -1,0 +1,227 @@
+(** Global worlds W = (T, t, d, σ) and the Load rule (Fig. 7).
+
+    A thread is a stack of existentially-packed cores — the call stack of
+    the interaction semantics (footnote 5: the thread pool maps thread IDs
+    to stacks of (tl, F, κ) since modules call each other's external
+    functions). The world keeps per-thread atomic bits 𝕕 as in the
+    non-preemptive semantics; the preemptive semantics uses the current
+    thread's bit as its single d flag, the two views coinciding because a
+    preemptive thread is never descheduled mid-atomic-block. *)
+
+open Cas_base
+
+module IMap = Map.Make (Int)
+
+type thread = {
+  tid : int;
+  flist : Flist.t;
+  stack : Lang.xcore list;  (** head = running frame; [] = terminated *)
+}
+
+type t = {
+  threads : thread IMap.t;
+  cur : int;
+  dbits : bool IMap.t;
+  mem : Memory.t;
+  genv : Genv.t;
+  modules : Lang.modu list;
+}
+
+(** Global messages o ::= τ | e | sw (Fig. 7). *)
+type gmsg = Gtau | Gevt of Event.t | Gsw
+
+let pp_gmsg ppf = function
+  | Gtau -> Fmt.string ppf "tau"
+  | Gevt e -> Event.pp ppf e
+  | Gsw -> Fmt.string ppf "sw"
+
+type load_error =
+  | Incompatible_globals of string
+  | Unresolved_entry of string
+  | Not_closed
+
+let pp_load_error ppf = function
+  | Incompatible_globals n -> Fmt.pf ppf "incompatible declarations of %s" n
+  | Unresolved_entry f -> Fmt.pf ppf "unresolved entry %s" f
+  | Not_closed -> Fmt.string ppf "initial memory is not closed"
+
+(** The Load rule: link global environments, initialize memory, check
+    closedness, partition the freelists, and create one core per entry. *)
+let load (p : Lang.prog) ~(args : Value.t list list) : (t, load_error) result =
+  match Lang.link_genv p with
+  | Error n -> Error (Incompatible_globals n)
+  | Ok genv ->
+    let mem = Genv.init_memory genv in
+    if not (Memory.closed mem) then Error Not_closed
+    else
+      let n = List.length p.entries in
+      let flists = Flist.partition ~globals:(Genv.block_count genv) n in
+      let rec build tid entries flists args acc =
+        match (entries, flists, args) with
+        | [], _, _ -> Ok acc
+        | entry :: es, fl :: fls, a :: argss -> (
+          match Lang.resolve ~genv p.modules ~entry ~args:a with
+          | None -> Error (Unresolved_entry entry)
+          | Some xc ->
+            build (tid + 1) es fls argss
+              (IMap.add tid { tid; flist = fl; stack = [ xc ] } acc))
+        | _ -> assert false
+      in
+      let args =
+        if args = [] then List.map (fun _ -> []) p.entries else args
+      in
+      (match build 1 p.entries flists args IMap.empty with
+      | Error e -> Error e
+      | Ok threads ->
+        let dbits = IMap.map (fun _ -> false) threads in
+        Ok { threads; cur = 1; dbits; mem; genv; modules = p.modules })
+
+let thread_done t = t.stack = []
+let live_tids w =
+  IMap.fold (fun tid t acc -> if thread_done t then acc else tid :: acc) w.threads []
+  |> List.rev
+
+let all_done w = live_tids w = []
+let dbit w tid = Option.value ~default:false (IMap.find_opt tid w.dbits)
+
+let fingerprint w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int w.cur);
+  Buffer.add_char buf '|';
+  IMap.iter
+    (fun tid t ->
+      Buffer.add_string buf (string_of_int tid);
+      Buffer.add_string buf (if dbit w tid then "!" else ":");
+      List.iter
+        (fun xc ->
+          Buffer.add_string buf (Lang.xcore_fingerprint xc);
+          Buffer.add_char buf '/')
+        t.stack;
+      Buffer.add_char buf ';')
+    w.threads;
+  Buffer.add_string buf (Memory.fingerprint w.mem);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Local steps of one thread, with call/return linking                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Result of one local step of a thread, before the scheduler decides
+    about switching. The [Msg.t] is the local message that labelled the
+    step (with [Call]/[TailCall]/[Ret] already resolved by the linker). *)
+type local_succ =
+  | LNext of Msg.t * Footprint.t * t
+  | LAbort
+
+let set_thread w (t : thread) = { w with threads = IMap.add t.tid t w.threads }
+
+let set_top w (t : thread) (xc : Lang.xcore) =
+  match t.stack with
+  | [] -> invalid_arg "set_top: terminated thread"
+  | _ :: rest -> set_thread w { t with stack = xc :: rest }
+
+(** Pop the top frame of [t], delivering [v] to the caller frame below (or
+    terminating the thread). *)
+let pop_frame w (t : thread) (v : Value.t) : t option =
+  match t.stack with
+  | [] -> None
+  | _ :: [] -> Some (set_thread w { t with stack = [] })
+  | _ :: Lang.XCore (l, caller) :: rest -> (
+    match l.after_external caller (Some v) with
+    | None -> None
+    | Some caller' ->
+      Some (set_thread w { t with stack = Lang.XCore (l, caller') :: rest }))
+
+(** All local successors of thread [tid] in world [w]. Handles the
+    built-in [print] external, cross-module calls, tail calls, returns,
+    and the atomic bits. *)
+let local_steps (w : t) (tid : int) : local_succ list =
+  match IMap.find_opt tid w.threads with
+  | None -> []
+  | Some t -> (
+    match t.stack with
+    | [] -> []
+    | Lang.XCore (l, core) :: _ ->
+      let succs = l.step t.flist core w.mem in
+      if succs = [] then [ LAbort ]
+      else
+        List.map
+          (function
+            | Lang.Stuck_abort -> LAbort
+            | Lang.Next (msg, fp, core', mem') -> (
+              let w = { w with mem = mem' } in
+              let w_top = set_top w t (Lang.XCore (l, core')) in
+              match msg with
+              | Msg.Tau | Msg.Evt _ -> LNext (msg, fp, w_top)
+              | Msg.EntAtom ->
+                LNext
+                  (msg, fp, { w_top with dbits = IMap.add tid true w.dbits })
+              | Msg.ExtAtom ->
+                LNext
+                  (msg, fp, { w_top with dbits = IMap.add tid false w.dbits })
+              | Msg.Ret v -> (
+                let t' =
+                  match IMap.find_opt tid w_top.threads with
+                  | Some t' -> t'
+                  | None -> assert false
+                in
+                match pop_frame w_top t' v with
+                | Some w' -> LNext (msg, fp, w')
+                | None -> LAbort)
+              | Msg.Call ("print", [ Value.Vint n ]) -> (
+                (* built-in observable output *)
+                match l.after_external core' None with
+                | Some core'' ->
+                  LNext
+                    ( Msg.Evt (Event.Print n),
+                      fp,
+                      set_top w t (Lang.XCore (l, core'')) )
+                | None -> LAbort)
+              | Msg.Call (f, args) -> (
+                match Lang.resolve ~genv:w.genv w.modules ~entry:f ~args with
+                | Some callee ->
+                  let t' =
+                    match IMap.find_opt tid w_top.threads with
+                    | Some t' -> t'
+                    | None -> assert false
+                  in
+                  LNext
+                    ( msg,
+                      fp,
+                      set_thread w_top { t' with stack = callee :: t'.stack } )
+                | None -> LAbort)
+              | Msg.TailCall ("print", [ Value.Vint n ]) -> (
+                (* tail-calling the built-in: the event fires and the
+                   current frame returns to its caller *)
+                let t' =
+                  match IMap.find_opt tid w_top.threads with
+                  | Some t' -> t'
+                  | None -> assert false
+                in
+                match pop_frame w_top t' (Value.Vint 0) with
+                | Some w' -> LNext (Msg.Evt (Event.Print n), fp, w')
+                | None -> LAbort)
+              | Msg.TailCall (f, args) -> (
+                match Lang.resolve ~genv:w.genv w.modules ~entry:f ~args with
+                | Some callee ->
+                  let rest =
+                    match t.stack with [] -> [] | _ :: r -> r
+                  in
+                  LNext
+                    ( msg,
+                      fp,
+                      set_thread w { t with stack = callee :: rest } )
+                | None -> LAbort)))
+          succs)
+
+let pp ppf w =
+  Fmt.pf ppf "@[<v>cur=%d mem=%a@ %a@]" w.cur
+    Fmt.(any "...")
+    ()
+    Fmt.(
+      list ~sep:cut (fun ppf (tid, t) ->
+          Fmt.pf ppf "T%d%s: %a" tid
+            (if dbit w tid then " [atomic]" else "")
+            (list ~sep:(any " <- ") Lang.pp_xcore)
+            t.stack))
+    (IMap.bindings w.threads)

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Addr Cas_base Event Flist Fmt Footprint Genv Hashtbl Lang List Memory Msg Perm String Value

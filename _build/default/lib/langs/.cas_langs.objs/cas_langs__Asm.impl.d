@@ -1,0 +1,1 @@
+lib/langs/asm.ml: Addr Array Cas_base Flist Fmt Footprint Genv Lang List Memory Mreg Msg Ops Option Perm String Value

@@ -1,0 +1,1 @@
+lib/langs/cimp.ml: Cas_base Flist Fmt Footprint Genv Lang List Map Memory Msg Ops Option Perm String Value

@@ -1,0 +1,1 @@
+lib/langs/cminor.ml: Addr Cas_base Flist Fmt Footprint Genv Lang List Map Memory Msg Ops Option Perm String Value

@@ -1,0 +1,1 @@
+lib/langs/lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/langs/linearl.ml: Addr Array Cas_base Flist Fmt Footprint Genv Lang List Memory Mreg Msg Option Perm String Value

@@ -1,0 +1,1 @@
+lib/langs/ltl.ml: Addr Cas_base Flist Fmt Footprint Genv Int Lang List Map Memory Mreg Msg Option Perm String Value

@@ -1,0 +1,1 @@
+lib/langs/mreg.ml: Cas_base Fmt Map Ops Stdlib Value

@@ -1,0 +1,1 @@
+lib/langs/ops.ml: Addr Cas_base Fmt Value

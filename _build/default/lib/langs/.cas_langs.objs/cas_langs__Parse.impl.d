@@ -1,0 +1,1 @@
+lib/langs/parse.ml: Cas_base Cimp Clight Fmt Genv Lexer List Ops Perm

@@ -1,0 +1,1 @@
+lib/langs/rtl.ml: Addr Cas_base Flist Fmt Footprint Genv Int Lang List Map Memory Msg Ops Option Perm String Value

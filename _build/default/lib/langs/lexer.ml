@@ -1,0 +1,156 @@
+(** Hand-written lexer shared by the mini-C (Clight) and CImp parsers. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** keywords: int void if else while return object atomic assert reg *)
+  | PUNCT of string
+  | EOF
+
+type pos = { pline : int; pcol : int }
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+  mutable peeked : (token * pos) option;
+}
+
+exception Error of string * pos
+
+let keywords =
+  [ "int"; "void"; "if"; "else"; "while"; "return"; "object"; "atomic";
+    "assert"; "reg" ]
+
+let create src = { src; off = 0; line = 1; bol = 0; peeked = None }
+
+let pos_of lx = { pline = lx.line; pcol = lx.off - lx.bol + 1 }
+
+let error lx fmt = Fmt.kstr (fun s -> raise (Error (s, pos_of lx))) fmt
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.pline p.pcol
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "integer %d" n
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | KW s -> Fmt.pf ppf "keyword %s" s
+  | PUNCT s -> Fmt.pf ppf "'%s'" s
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws lx =
+  if lx.off >= String.length lx.src then ()
+  else
+    match lx.src.[lx.off] with
+    | ' ' | '\t' | '\r' ->
+      lx.off <- lx.off + 1;
+      skip_ws lx
+    | '\n' ->
+      lx.off <- lx.off + 1;
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.off;
+      skip_ws lx
+    | '/'
+      when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '/' ->
+      while lx.off < String.length lx.src && lx.src.[lx.off] <> '\n' do
+        lx.off <- lx.off + 1
+      done;
+      skip_ws lx
+    | '/'
+      when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '*' ->
+      lx.off <- lx.off + 2;
+      let rec close () =
+        if lx.off + 1 >= String.length lx.src then error lx "unterminated comment"
+        else if lx.src.[lx.off] = '*' && lx.src.[lx.off + 1] = '/' then
+          lx.off <- lx.off + 2
+        else begin
+          if lx.src.[lx.off] = '\n' then begin
+            lx.line <- lx.line + 1;
+            lx.bol <- lx.off + 1
+          end;
+          lx.off <- lx.off + 1;
+          close ()
+        end
+      in
+      close ();
+      skip_ws lx
+    | _ -> ()
+
+(* multi-character punctuation, longest first *)
+let puncts =
+  [ ":="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "="; "+"; "-"; "*"; "/"; "%";
+    "<"; ">"; "!"; "&"; "|"; "^"; "~" ]
+
+let lex_one lx : token * pos =
+  skip_ws lx;
+  let p = pos_of lx in
+  if lx.off >= String.length lx.src then (EOF, p)
+  else
+    let c = lx.src.[lx.off] in
+    if is_digit c then begin
+      let start = lx.off in
+      while lx.off < String.length lx.src && is_digit lx.src.[lx.off] do
+        lx.off <- lx.off + 1
+      done;
+      (INT (int_of_string (String.sub lx.src start (lx.off - start))), p)
+    end
+    else if is_alpha c then begin
+      let start = lx.off in
+      while lx.off < String.length lx.src && is_alnum lx.src.[lx.off] do
+        lx.off <- lx.off + 1
+      done;
+      let s = String.sub lx.src start (lx.off - start) in
+      ((if List.mem s keywords then KW s else IDENT s), p)
+    end
+    else
+      match
+        List.find_opt
+          (fun pct ->
+            let n = String.length pct in
+            lx.off + n <= String.length lx.src
+            && String.sub lx.src lx.off n = pct)
+          puncts
+      with
+      | Some pct ->
+        lx.off <- lx.off + String.length pct;
+        (PUNCT pct, p)
+      | None -> error lx "unexpected character %C" c
+
+let peek lx : token * pos =
+  match lx.peeked with
+  | Some tp -> tp
+  | None ->
+    let tp = lex_one lx in
+    lx.peeked <- Some tp;
+    tp
+
+let next lx : token * pos =
+  match lx.peeked with
+  | Some tp ->
+    lx.peeked <- None;
+    tp
+  | None -> lex_one lx
+
+let expect lx (t : token) =
+  let got, p = next lx in
+  if got <> t then
+    raise (Error (Fmt.str "expected %a, got %a" pp_token t pp_token got, p))
+
+let expect_punct lx s = expect lx (PUNCT s)
+
+let accept_punct lx s =
+  match peek lx with
+  | PUNCT s', _ when s = s' ->
+    ignore (next lx);
+    true
+  | _ -> false
+
+let expect_ident lx : string =
+  match next lx with
+  | IDENT s, _ -> s
+  | t, p -> raise (Error (Fmt.str "expected identifier, got %a" pp_token t, p))

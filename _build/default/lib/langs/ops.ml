@@ -1,0 +1,90 @@
+(** Operators shared by the source and intermediate languages, with total
+    CompCert-style evaluation: ill-typed applications produce [Vundef]. *)
+
+open Cas_base
+
+type binop =
+  | Oadd
+  | Osub
+  | Omul
+  | Odiv
+  | Omod
+  | Oand
+  | Oor
+  | Oxor
+  | Oshl
+  | Oshr
+  | Oeq
+  | One
+  | Olt
+  | Ole
+  | Ogt
+  | Oge
+
+type unop = Oneg | Onot | Olognot
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Oadd -> "+"
+    | Osub -> "-"
+    | Omul -> "*"
+    | Odiv -> "/"
+    | Omod -> "%"
+    | Oand -> "&"
+    | Oor -> "|"
+    | Oxor -> "^"
+    | Oshl -> "<<"
+    | Oshr -> ">>"
+    | Oeq -> "=="
+    | One -> "!="
+    | Olt -> "<"
+    | Ole -> "<="
+    | Ogt -> ">"
+    | Oge -> ">=")
+
+let pp_unop ppf op =
+  Fmt.string ppf (match op with Oneg -> "-" | Onot -> "~" | Olognot -> "!")
+
+let bool b = Value.Vint (if b then 1 else 0)
+
+let eval_binop op (v1 : Value.t) (v2 : Value.t) : Value.t =
+  match (op, v1, v2) with
+  | Oadd, Vint a, Vint b -> Vint (a + b)
+  | Oadd, Vptr p, Vint b -> Vptr (Addr.make p.block (p.ofs + b))
+  | Oadd, Vint a, Vptr p -> Vptr (Addr.make p.block (p.ofs + a))
+  | Osub, Vint a, Vint b -> Vint (a - b)
+  | Osub, Vptr p, Vint b -> Vptr (Addr.make p.block (p.ofs - b))
+  | Osub, Vptr p, Vptr q when p.block = q.block -> Vint (p.ofs - q.ofs)
+  | Omul, Vint a, Vint b -> Vint (a * b)
+  | Odiv, Vint a, Vint b when b <> 0 -> Vint (a / b)
+  | Omod, Vint a, Vint b when b <> 0 -> Vint (a mod b)
+  | Oand, Vint a, Vint b -> Vint (a land b)
+  | Oor, Vint a, Vint b -> Vint (a lor b)
+  | Oxor, Vint a, Vint b -> Vint (a lxor b)
+  | Oshl, Vint a, Vint b when b >= 0 && b < 63 -> Vint (a lsl b)
+  | Oshr, Vint a, Vint b when b >= 0 && b < 63 -> Vint (a asr b)
+  | Oeq, Vint a, Vint b -> bool (a = b)
+  | Oeq, Vptr p, Vptr q -> bool (Addr.equal p q)
+  | Oeq, Vptr _, Vint 0 | Oeq, Vint 0, Vptr _ -> bool false
+  | One, Vint a, Vint b -> bool (a <> b)
+  | One, Vptr p, Vptr q -> bool (not (Addr.equal p q))
+  | One, Vptr _, Vint 0 | One, Vint 0, Vptr _ -> bool true
+  | Olt, Vint a, Vint b -> bool (a < b)
+  | Ole, Vint a, Vint b -> bool (a <= b)
+  | Ogt, Vint a, Vint b -> bool (a > b)
+  | Oge, Vint a, Vint b -> bool (a >= b)
+  | _ -> Vundef
+
+let eval_unop op (v : Value.t) : Value.t =
+  match (op, v) with
+  | Oneg, Vint a -> Vint (-a)
+  | Onot, Vint a -> Vint (lnot a)
+  | Olognot, Vint a -> bool (a = 0)
+  | Olognot, Vptr _ -> bool false
+  | _ -> Vundef
+
+(** Constant-evaluation helper for the ConstProp pass: [Some] only when the
+    result is a known integer. *)
+let const_binop op a b =
+  match eval_binop op (Vint a) (Vint b) with Vint n -> Some n | _ -> None

@@ -1,0 +1,1 @@
+lib/tso/locks.ml: Asm Cas_base Cas_langs Cimp Genv Mreg Perm

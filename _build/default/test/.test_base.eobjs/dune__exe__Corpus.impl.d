@@ -1,0 +1,1 @@
+test/corpus.ml: Cas_base Cas_langs Cascompcert Cimp Clight Parse

@@ -1,0 +1,1 @@
+test/test_base.ml: Addr Alcotest Cas_base Flist Fmt Footprint Genv Layout List Memory Option Perm QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Cas_base Cas_conc Cas_langs Cimp Clight Corpus Event Explore Flist Fmt Gsem Lang List Nonpreemptive Parse Preemptive World

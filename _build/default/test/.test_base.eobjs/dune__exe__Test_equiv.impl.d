@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Cas_base Cas_conc Cascompcert Corpus Event Explore Fmt List Nonpreemptive Preemptive Refine World

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Cas_base Cas_compiler Cas_langs Cascompcert Corpus Fmt Framework List Simulation Value

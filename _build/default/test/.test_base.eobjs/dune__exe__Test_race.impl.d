@@ -1,0 +1,1 @@
+test/test_race.ml: Addr Alcotest Cas_base Cas_conc Cas_langs Cascompcert Cimp Clight Corpus Fmt Footprint Lang List Parse Race World

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Asm Cas_base Cas_compiler Cas_langs Cascompcert Clight Cminor Csharpminor Event Flist Fmt Genv Lang Linearl List Ltl Machl Msg Ops QCheck QCheck_alcotest Rtl Value

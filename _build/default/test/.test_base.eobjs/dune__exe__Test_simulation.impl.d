@@ -1,0 +1,1 @@
+test/test_simulation.ml: Addr Alcotest Asm Cas_base Cas_compiler Cas_langs Cascompcert Cimp Clight Corpus Flist Fmt Genv List Parse Rtl Simulation Value

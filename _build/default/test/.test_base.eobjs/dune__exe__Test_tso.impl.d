@@ -1,0 +1,1 @@
+test/test_tso.ml: Alcotest Asm Cas_base Cas_compiler Cas_conc Cas_langs Cas_tso Cimp Clight Corpus Event Fmt Genv Lang List Locks Mreg Objects Objsim Parse Tso

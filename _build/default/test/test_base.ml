@@ -1,0 +1,415 @@
+(** Unit and property tests for the base layer: addresses, values,
+    footprints, freelists, permissions, memory, global environments, and
+    the §7.2 layout conversion. *)
+
+open Cas_base
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let a b o = Addr.make b o
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_compare () =
+  check tbool "equal addrs" true (Addr.equal (a 1 2) (a 1 2));
+  check tbool "block dominates" true (Addr.compare (a 1 9) (a 2 0) < 0);
+  check tbool "offset breaks ties" true (Addr.compare (a 1 1) (a 1 2) < 0);
+  check tbool "reflexive" true (Addr.compare (a 3 4) (a 3 4) = 0)
+
+let test_addr_set () =
+  let s = Addr.Set.of_list [ a 0 0; a 0 1; a 0 0 ] in
+  check tint "dedup" 2 (Addr.Set.cardinal s);
+  check tbool "mem" true (Addr.Set.mem (a 0 1) s)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_truth () =
+  check tbool "int 0 false" false (Value.is_true (Value.Vint 0));
+  check tbool "int 1 true" true (Value.is_true (Value.Vint 1));
+  check tbool "pointer true" true (Value.is_true (Value.Vptr (a 1 0)));
+  check tbool "undef false" false (Value.is_true Value.Vundef)
+
+let test_value_addrs () =
+  check tint "ptr has addr" 1 (List.length (Value.addrs (Value.Vptr (a 1 0))));
+  check tint "int no addr" 0 (List.length (Value.addrs (Value.Vint 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Footprint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fp_r l = Footprint.reads l
+let fp_w l = Footprint.writes l
+
+let test_fp_conflict () =
+  let open Footprint in
+  check tbool "r/r no conflict" false (conflict (fp_r [ a 0 0 ]) (fp_r [ a 0 0 ]));
+  check tbool "w/r conflict" true (conflict (fp_w [ a 0 0 ]) (fp_r [ a 0 0 ]));
+  check tbool "w/w conflict" true (conflict (fp_w [ a 0 0 ]) (fp_w [ a 0 0 ]));
+  check tbool "disjoint" false (conflict (fp_w [ a 0 0 ]) (fp_w [ a 0 1 ]))
+
+let test_fp_conflict_bits () =
+  let open Footprint in
+  let w = fp_w [ a 0 0 ] in
+  check tbool "both atomic: no race" false (conflict_bits (w, true) (w, true));
+  check tbool "one atomic: race" true (conflict_bits (w, true) (w, false));
+  check tbool "none atomic: race" true (conflict_bits (w, false) (w, false))
+
+let test_fp_subset_union () =
+  let open Footprint in
+  let f1 = fp_r [ a 0 0 ] and f2 = union (fp_r [ a 0 0 ]) (fp_w [ a 0 1 ]) in
+  check tbool "subset" true (subset f1 f2);
+  check tbool "not subset" false (subset f2 f1);
+  check tbool "union idempotent" true (equal (union f1 f1) f1)
+
+(* qcheck generators *)
+let gen_addr =
+  QCheck.Gen.(map2 (fun b o -> Addr.make b o) (int_bound 5) (int_bound 5))
+
+let gen_fp =
+  QCheck.Gen.(
+    map2
+      (fun rs ws -> { Footprint.rs = Addr.Set.of_list rs; ws = Addr.Set.of_list ws })
+      (list_size (int_bound 6) gen_addr)
+      (list_size (int_bound 6) gen_addr))
+
+let arb_fp = QCheck.make ~print:(Fmt.str "%a" Footprint.pp) gen_fp
+
+let prop_conflict_symmetric =
+  QCheck.Test.make ~name:"footprint conflict is symmetric" ~count:500
+    (QCheck.pair arb_fp arb_fp) (fun (f1, f2) ->
+      Footprint.conflict f1 f2 = Footprint.conflict f2 f1)
+
+let prop_union_monotone =
+  QCheck.Test.make ~name:"union is an upper bound" ~count:500
+    (QCheck.pair arb_fp arb_fp) (fun (f1, f2) ->
+      let u = Footprint.union f1 f2 in
+      Footprint.subset f1 u && Footprint.subset f2 u)
+
+let prop_conflict_monotone =
+  QCheck.Test.make ~name:"conflict is monotone in footprints" ~count:500
+    (QCheck.triple arb_fp arb_fp arb_fp) (fun (f1, f2, f3) ->
+      (* if f1 conflicts with f2 then f1 conflicts with f2 ∪ f3 *)
+      (not (Footprint.conflict f1 f2))
+      || Footprint.conflict f1 (Footprint.union f2 f3))
+
+(* ------------------------------------------------------------------ *)
+(* Flist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flist_partition_disjoint () =
+  let fls = Flist.partition ~globals:3 4 in
+  check tint "four freelists" 4 (List.length fls);
+  List.iteri
+    (fun i f1 ->
+      List.iteri
+        (fun j f2 ->
+          if i <> j then
+            check tbool (Fmt.str "disjoint %d %d" i j) true (Flist.disjoint f1 f2))
+        fls)
+    fls
+
+let test_flist_no_globals () =
+  let fls = Flist.partition ~globals:3 2 in
+  List.iter
+    (fun fl ->
+      check tbool "globals not owned" false
+        (Flist.mem fl 0 || Flist.mem fl 1 || Flist.mem fl 2))
+    fls
+
+let test_flist_nth_mem () =
+  let fl = Flist.make ~offset:5 ~stride:3 in
+  check tbool "nth in flist" true (Flist.mem fl (Flist.nth fl 7));
+  check tbool "off stride" false (Flist.mem fl 6)
+
+let prop_flist_nth_mem =
+  QCheck.Test.make ~name:"flist nth is a member" ~count:300
+    QCheck.(triple (int_bound 10) (int_range 1 8) (int_bound 50))
+    (fun (off, stride, i) ->
+      let fl = Flist.make ~offset:off ~stride in
+      Flist.mem fl (Flist.nth fl i))
+
+let prop_flist_partition_disjoint =
+  QCheck.Test.make ~name:"partitioned freelists are pairwise disjoint"
+    ~count:100
+    QCheck.(pair (int_bound 5) (int_range 2 6))
+    (fun (globals, n) ->
+      let fls = Flist.partition ~globals n in
+      List.for_all
+        (fun f1 ->
+          List.for_all
+            (fun f2 -> f1 = f2 || Flist.disjoint f1 f2)
+            fls)
+        fls)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mem_with_block ?(perm = Perm.Normal) ?(size = 4) b =
+  Memory.alloc_block Memory.empty ~block:b ~size ~perm
+
+let test_mem_load_store () =
+  let m = mem_with_block 0 in
+  (match Memory.store m (a 0 2) (Value.Vint 42) with
+  | Ok m' -> (
+    match Memory.load m' (a 0 2) with
+    | Ok v -> check tbool "roundtrip" true (Value.equal v (Value.Vint 42))
+    | Error _ -> Alcotest.fail "load failed")
+  | Error _ -> Alcotest.fail "store failed");
+  (match Memory.load m (a 0 0) with
+  | Ok v -> check tbool "fresh reads undef" true (Value.equal v Value.Vundef)
+  | Error _ -> Alcotest.fail "load of fresh failed")
+
+let test_mem_faults () =
+  let m = mem_with_block 0 in
+  check tbool "unmapped" true
+    (match Memory.load m (a 9 0) with Error (Memory.Unmapped _) -> true | _ -> false);
+  check tbool "oob" true
+    (match Memory.load m (a 0 99) with
+    | Error (Memory.Out_of_bounds _) -> true
+    | _ -> false);
+  let mo = mem_with_block ~perm:Perm.Object 1 in
+  check tbool "perm mismatch on normal access" true
+    (match Memory.load mo (a 1 0) with
+    | Error (Memory.Perm_mismatch _) -> true
+    | _ -> false);
+  check tbool "object access ok" true
+    (match Memory.load ~perm:Perm.Object mo (a 1 0) with Ok _ -> true | _ -> false)
+
+let test_mem_alloc_least_free () =
+  let fl = Flist.make ~offset:2 ~stride:2 in
+  let m = mem_with_block 0 in
+  let m1, b1, fp = Memory.alloc m fl ~size:1 ~perm:Perm.Normal in
+  check tint "first block" 2 b1;
+  check tbool "alloc fp is write" true
+    (Addr.Set.mem (a 2 0) fp.Footprint.ws);
+  let _, b2, _ = Memory.alloc m1 fl ~size:1 ~perm:Perm.Normal in
+  check tint "second block skips" 4 b2
+
+let test_mem_forward_leffect () =
+  let fl = Flist.make ~offset:1 ~stride:1 in
+  let m = mem_with_block 0 in
+  let m', _, fp = Memory.alloc m fl ~size:2 ~perm:Perm.Normal in
+  check tbool "forward" true (Memory.forward m m');
+  check tbool "not backward" false (Memory.forward m' m);
+  check tbool "leffect of alloc" true (Memory.leffect m m' fp fl);
+  (* a write outside the declared footprint violates LEffect *)
+  match Memory.store m' (a 0 0) (Value.Vint 7) with
+  | Ok m'' ->
+    check tbool "leffect catches stray write" false
+      (Memory.leffect m m'' fp fl)
+  | Error _ -> Alcotest.fail "store failed"
+
+let test_mem_eq_on () =
+  let m1 = mem_with_block 0 in
+  let m2 =
+    match Memory.store m1 (a 0 0) (Value.Vint 1) with Ok m -> m | Error _ -> m1
+  in
+  check tbool "differ on written cell" false
+    (Memory.eq_on (Addr.Set.singleton (a 0 0)) m1 m2);
+  check tbool "agree elsewhere" true
+    (Memory.eq_on (Addr.Set.singleton (a 0 1)) m1 m2)
+
+let test_mem_closed () =
+  let m = mem_with_block 0 in
+  let m =
+    match Memory.store m (a 0 0) (Value.Vptr (a 0 3)) with
+    | Ok m -> m
+    | Error _ -> m
+  in
+  check tbool "self-contained pointer" true (Memory.closed m);
+  let m2 =
+    match Memory.store m (a 0 1) (Value.Vptr (a 7 0)) with
+    | Ok m -> m
+    | Error _ -> m
+  in
+  check tbool "wild pointer detected" false (Memory.closed m2)
+
+let test_mem_fingerprint () =
+  let m1 = mem_with_block 0 in
+  let m2 = mem_with_block 0 in
+  check tbool "equal memories, equal fingerprints" true
+    (Memory.fingerprint m1 = Memory.fingerprint m2);
+  let m3 =
+    match Memory.store m1 (a 0 0) (Value.Vint 5) with Ok m -> m | Error _ -> m1
+  in
+  check tbool "store changes fingerprint" false
+    (Memory.fingerprint m1 = Memory.fingerprint m3)
+
+(* ------------------------------------------------------------------ *)
+(* Genv                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_genv_link () =
+  let g1 = [ Genv.gvar ~init:[ Genv.Iint 1 ] "x" 1 ] in
+  let g2 = [ Genv.gvar "y" 2 ] in
+  match Genv.link [ g1; g2 ] with
+  | Error _ -> Alcotest.fail "link failed"
+  | Ok ge ->
+    check tint "two globals" 2 (Genv.block_count ge);
+    check tbool "x resolvable" true (Genv.find_block ge "x" <> None);
+    check tbool "z not resolvable" true (Genv.find_block ge "z" = None)
+
+let test_genv_link_compatible_dup () =
+  let g = [ Genv.gvar ~init:[ Genv.Iint 1 ] "x" 1 ] in
+  match Genv.link [ g; g ] with
+  | Ok ge -> check tint "deduplicated" 1 (Genv.block_count ge)
+  | Error _ -> Alcotest.fail "compatible duplicates must link"
+
+let test_genv_link_incompatible () =
+  let g1 = [ Genv.gvar ~init:[ Genv.Iint 1 ] "x" 1 ] in
+  let g2 = [ Genv.gvar ~init:[ Genv.Iint 2 ] "x" 1 ] in
+  match Genv.link [ g1; g2 ] with
+  | Error "x" -> ()
+  | Error n -> Alcotest.failf "wrong culprit %s" n
+  | Ok _ -> Alcotest.fail "incompatible duplicates must not link"
+
+let test_genv_init_memory () =
+  let g =
+    [
+      Genv.gvar ~init:[ Genv.Iint 7 ] "x" 1;
+      Genv.gvar ~init:[ Genv.Iaddr "x" ] "p" 1;
+    ]
+  in
+  match Genv.link [ g ] with
+  | Error _ -> Alcotest.fail "link failed"
+  | Ok ge -> (
+    let m = Genv.init_memory ge in
+    check tbool "closed" true (Memory.closed m);
+    let bx = Option.get (Genv.find_block ge "x") in
+    let bp = Option.get (Genv.find_block ge "p") in
+    match (Memory.peek m (a bx 0), Memory.peek m (a bp 0)) with
+    | Some (Value.Vint 7), Some (Value.Vptr pa) ->
+      check tbool "pointer init resolves" true (Addr.equal pa (a bx 0))
+    | _ -> Alcotest.fail "bad initialization")
+
+(* ------------------------------------------------------------------ *)
+(* Layout (§7.2)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_roundtrip () =
+  let fl = Flist.make ~offset:2 ~stride:3 in
+  let t = Layout.build ~globals:2 fl ~depth:8 in
+  let m = mem_with_block ~size:2 0 in
+  let m = Memory.alloc_block m ~block:1 ~size:1 ~perm:Perm.Object in
+  let m, b, _ = Memory.alloc m fl ~size:2 ~perm:Perm.Normal in
+  let m =
+    match Memory.store m (a b 1) (Value.Vptr (a b 0)) with
+    | Ok m -> m
+    | Error _ -> m
+  in
+  let cc = Layout.to_compcert t m in
+  let back = Layout.of_compcert t cc in
+  check tbool "roundtrip preserves memory" true (Memory.equal m back)
+
+let test_layout_consecutive () =
+  let fl = Flist.make ~offset:5 ~stride:4 in
+  let t = Layout.build ~globals:3 fl ~depth:8 in
+  check tbool "first freelist block maps to nextblock" true
+    (Layout.to_compcert_block t (Flist.nth fl 0) = Some 3);
+  check tbool "second maps consecutively" true
+    (Layout.to_compcert_block t (Flist.nth fl 1) = Some 4);
+  check tbool "globals fixed" true (Layout.to_compcert_block t 1 = Some 1)
+
+let test_layout_alloc_commutes () =
+  let fl = Flist.make ~offset:2 ~stride:2 in
+  let t = Layout.build ~globals:2 fl ~depth:16 in
+  let m = mem_with_block ~size:1 0 in
+  let m = Memory.alloc_block m ~block:1 ~size:1 ~perm:Perm.Normal in
+  check tbool "alloc commutes with conversion" true
+    (Layout.alloc_commutes t m ~size:3);
+  (* also after a prior allocation *)
+  let m', _, _ = Memory.alloc m fl ~size:1 ~perm:Perm.Normal in
+  check tbool "second alloc commutes" true (Layout.alloc_commutes t m' ~size:2)
+
+let prop_layout_store_commutes =
+  QCheck.Test.make ~name:"store commutes with layout conversion" ~count:200
+    QCheck.(triple (int_bound 1) (int_bound 2) (int_range (-50) 50))
+    (fun (blk_choice, ofs, v) ->
+      let fl = Flist.make ~offset:1 ~stride:2 in
+      let t = Layout.build ~globals:1 fl ~depth:8 in
+      let m = mem_with_block ~size:3 0 in
+      let m, b, _ = Memory.alloc m fl ~size:3 ~perm:Perm.Normal in
+      let target = if blk_choice = 0 then 0 else b in
+      match Memory.store m (a target ofs) (Value.Vint v) with
+      | Error _ -> true
+      | Ok m' -> (
+        let cc_then = Layout.to_compcert t m' in
+        let cc = Layout.to_compcert t m in
+        let target_cc = Option.get (Layout.to_compcert_block t target) in
+        match Memory.store cc (a target_cc ofs) (Value.Vint v) with
+        | Ok then_cc -> Memory.equal cc_then then_cc
+        | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [
+    prop_conflict_symmetric;
+    prop_union_monotone;
+    prop_conflict_monotone;
+    prop_flist_nth_mem;
+    prop_flist_partition_disjoint;
+    prop_layout_store_commutes;
+  ]
+
+let () =
+  Alcotest.run "base"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "compare" `Quick test_addr_compare;
+          Alcotest.test_case "set" `Quick test_addr_set;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "truth" `Quick test_value_truth;
+          Alcotest.test_case "addrs" `Quick test_value_addrs;
+        ] );
+      ( "footprint",
+        [
+          Alcotest.test_case "conflict" `Quick test_fp_conflict;
+          Alcotest.test_case "conflict bits" `Quick test_fp_conflict_bits;
+          Alcotest.test_case "subset/union" `Quick test_fp_subset_union;
+        ] );
+      ( "flist",
+        [
+          Alcotest.test_case "partition disjoint" `Quick
+            test_flist_partition_disjoint;
+          Alcotest.test_case "avoids globals" `Quick test_flist_no_globals;
+          Alcotest.test_case "nth/mem" `Quick test_flist_nth_mem;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_mem_load_store;
+          Alcotest.test_case "faults" `Quick test_mem_faults;
+          Alcotest.test_case "alloc least free" `Quick test_mem_alloc_least_free;
+          Alcotest.test_case "forward/LEffect" `Quick test_mem_forward_leffect;
+          Alcotest.test_case "eq_on" `Quick test_mem_eq_on;
+          Alcotest.test_case "closed" `Quick test_mem_closed;
+          Alcotest.test_case "fingerprint" `Quick test_mem_fingerprint;
+        ] );
+      ( "genv",
+        [
+          Alcotest.test_case "link" `Quick test_genv_link;
+          Alcotest.test_case "compatible duplicates" `Quick
+            test_genv_link_compatible_dup;
+          Alcotest.test_case "incompatible duplicates" `Quick
+            test_genv_link_incompatible;
+          Alcotest.test_case "init memory" `Quick test_genv_init_memory;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_layout_roundtrip;
+          Alcotest.test_case "consecutive numbering" `Quick
+            test_layout_consecutive;
+          Alcotest.test_case "alloc commutes" `Quick test_layout_alloc_commutes;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,173 @@
+(** Tests for the race predictor and DRF/NPDRF (Fig. 9, §5). *)
+
+open Cas_base
+open Cas_langs
+open Cas_conc
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let load p =
+  match World.load p ~args:[] with
+  | Error e -> Alcotest.failf "load: %a" World.pp_load_error e
+  | Ok w -> w
+
+(* ------------------------------------------------------------------ *)
+
+let test_racy_counter_detected () =
+  let r = Race.drf (load (Corpus.racy_prog ())) in
+  check tbool "racy counter detected" false r.Race.drf;
+  match r.Race.witness with
+  | Some (t1, _, t2, _) -> check tbool "distinct threads" true (t1 <> t2)
+  | None -> Alcotest.fail "expected witness"
+
+let test_locked_counter_drf () =
+  let r = Race.drf (load (Corpus.lock_counter_prog ())) in
+  check tbool "locked counter is DRF" true r.Race.drf
+
+let test_write_write_race () =
+  let p =
+    Lang.prog
+      [ Lang.Mod (Clight.lang, Parse.clight {| int x = 0; void f() { x = 1; } |}) ]
+      [ "f"; "f" ]
+  in
+  let r = Race.drf (load p) in
+  check tbool "write/write race" false r.Race.drf
+
+let test_read_read_no_race () =
+  let p =
+    Lang.prog
+      [ Lang.Mod (Clight.lang, Parse.clight {| int x = 0; void f() { print(x); } |}) ]
+      [ "f"; "f" ]
+  in
+  let r = Race.drf (load p) in
+  check tbool "read/read is no race" true r.Race.drf
+
+let test_disjoint_writes_no_race () =
+  let m1 = Parse.clight {| int x = 0; int y = 0; void f() { x = 1; } |} in
+  let m2 = Parse.clight {| int x = 0; int y = 0; void g() { y = 1; } |} in
+  let p = Lang.prog [ Lang.Mod (Clight.lang, m1); Lang.Mod (Clight.lang, m2) ] [ "f"; "g" ] in
+  let r = Race.drf (load p) in
+  check tbool "disjoint writes" true r.Race.drf
+
+let test_atomic_blocks_no_race () =
+  (* two CImp threads updating the same cell inside atomic blocks *)
+  let g =
+    Parse.cimp
+      {| object int C = 0;
+         void bump() { atomic { r := [C]; [C] := r + 1; } } |}
+  in
+  let p = Lang.prog [ Lang.Mod (Cimp.lang, g) ] [ "bump"; "bump" ] in
+  let r = Race.drf (load p) in
+  check tbool "atomic updates race-free" true r.Race.drf
+
+let test_atomic_vs_plain_races () =
+  (* same cell: one thread atomic, one plain — still a race (d2 = 0) *)
+  let g =
+    Parse.cimp
+      {| object int C = 0;
+         void bump() { atomic { r := [C]; [C] := r + 1; } }
+         void plain() { r := [C]; [C] := r + 1; } |}
+  in
+  let p = Lang.prog [ Lang.Mod (Cimp.lang, g) ] [ "bump"; "plain" ] in
+  let r = Race.drf (load p) in
+  check tbool "atomic vs plain races" false r.Race.drf
+
+let test_predict_atomic_footprint () =
+  (* Predict-1 accumulates the whole atomic block's footprint *)
+  let g =
+    Parse.cimp
+      {| object int C = 0;
+         void bump() { atomic { r := [C]; [C] := r + 1; } } |}
+  in
+  let p = Lang.prog [ Lang.Mod (Cimp.lang, g) ] [ "bump" ] in
+  let w = load p in
+  match Race.predict w 1 with
+  | [ (fp, true) ] ->
+    check tbool "reads C" true (not (Addr.Set.is_empty fp.Footprint.rs));
+    check tbool "writes C" true (not (Addr.Set.is_empty fp.Footprint.ws))
+  | _ -> Alcotest.fail "expected one atomic prediction"
+
+let test_local_accesses_never_race () =
+  (* threads hammer their own stack locals: freelists are disjoint *)
+  let p =
+    Lang.prog
+      [
+        Lang.Mod
+          ( Clight.lang,
+            Parse.clight
+              {| void f() { int a; int i; i = 0; while (i < 3) { a = i; g(&a); i = i + 1; } }
+                 void g(int p) { *p = *p + 1; } |} );
+      ]
+      [ "f"; "f" ]
+  in
+  let r = Race.drf (load p) in
+  check tbool "stack-local traffic is race-free" true r.Race.drf
+
+(* ------------------------------------------------------------------ *)
+(* DRF ⇔ NPDRF (steps 6 and 8 of Fig. 2)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_drf_iff_npdrf () =
+  let programs =
+    [
+      ("locked", Corpus.lock_counter_prog ());
+      ("racy", Corpus.racy_prog ());
+      ("observer", Corpus.observer_prog ());
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let w = load p in
+      let d = (Race.drf w).Race.drf in
+      let npd = (Race.npdrf w).Race.drf in
+      check tbool (Fmt.str "%s: DRF iff NPDRF" name) d npd)
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* DRF preservation by compilation (step 7)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_drf_preserved_by_compilation () =
+  List.iter
+    (fun input ->
+      let src = Cascompcert.Framework.source_prog input in
+      let tgt = Cascompcert.Framework.target_prog input in
+      let d_src = (Race.drf (load src)).Race.drf in
+      let d_tgt = (Race.drf (load tgt)).Race.drf in
+      if d_src then
+        check tbool
+          (Fmt.str "%s: target stays DRF" input.Cascompcert.Framework.name)
+          true d_tgt)
+    (List.filter
+       (fun i ->
+         i.Cascompcert.Framework.name <> "producer-consumer"
+         (* excluded here only for test runtime; covered in the bench *))
+       (Corpus.framework_inputs ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "predictor",
+        [
+          Alcotest.test_case "racy counter" `Quick test_racy_counter_detected;
+          Alcotest.test_case "locked counter DRF" `Quick test_locked_counter_drf;
+          Alcotest.test_case "write/write" `Quick test_write_write_race;
+          Alcotest.test_case "read/read" `Quick test_read_read_no_race;
+          Alcotest.test_case "disjoint writes" `Quick test_disjoint_writes_no_race;
+          Alcotest.test_case "atomic blocks" `Quick test_atomic_blocks_no_race;
+          Alcotest.test_case "atomic vs plain" `Quick test_atomic_vs_plain_races;
+          Alcotest.test_case "predict-1 footprint" `Quick
+            test_predict_atomic_footprint;
+          Alcotest.test_case "locals never race" `Quick
+            test_local_accesses_never_race;
+        ] );
+      ( "equivalences",
+        [
+          Alcotest.test_case "DRF iff NPDRF" `Slow test_drf_iff_npdrf;
+          Alcotest.test_case "compilation preserves DRF" `Slow
+            test_drf_preserved_by_compilation;
+        ] );
+    ]

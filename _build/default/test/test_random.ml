@@ -1,0 +1,264 @@
+(** Differential testing of the whole compiler: generate random mini-C
+    functions (straight-line arithmetic, conditionals, bounded loops,
+    global and stack-local traffic, address-taken locals), compile them
+    through all 16 passes, and require that the x86 target produces
+    exactly the source's observable behaviour (events, return value
+    modulo Vundef-refinement, abort-for-abort).
+
+    This is the qcheck-shaped face of Lem. 13 (Correct(CompCert)): where
+    the paper quantifies over all programs by proof, we sample the
+    program space. A shrinking counterexample would print the offending
+    source. *)
+
+open Cas_base
+open Cas_langs
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* temps t0..t3, globals g0 g1, one addressable local buf[2] *)
+let temps = [ "t0"; "t1"; "t2"; "t3" ]
+let globals = [ "g0"; "g1" ]
+
+open QCheck.Gen
+
+let gen_binop =
+  oneofl Ops.[ Oadd; Osub; Omul; Oand; Oor; Oxor; Oeq; One; Olt; Ole; Ogt ]
+
+(* expressions are int-valued; pointer expressions appear only in the
+   fixed shapes below so that programs stay memory-safe by construction *)
+let rec gen_expr n =
+  if n <= 0 then
+    oneof
+      [
+        map (fun c -> Clight.Econst c) (int_range (-4) 9);
+        map (fun x -> Clight.Etemp x) (oneofl temps);
+        map (fun g -> Clight.Eglob g) (oneofl globals);
+        map
+          (fun i ->
+            (* buf[i] for i in {0,1}: safe indexing *)
+            Clight.Ederef
+              (Clight.Ebinop (Ops.Oadd, Clight.Eaddrof "buf", Clight.Econst i)))
+          (int_bound 1);
+      ]
+  else
+    frequency
+      [
+        (3, gen_expr 0);
+        ( 4,
+          map2
+            (fun op (a, b) -> Clight.Ebinop (op, a, b))
+            gen_binop
+            (pair (gen_expr (n / 2)) (gen_expr (n / 2))) );
+        (1, map (fun a -> Clight.Eunop (Ops.Oneg, a)) (gen_expr (n - 1)));
+      ]
+
+let gen_lhs =
+  oneof
+    [
+      map (fun x -> `Temp x) (oneofl temps);
+      map (fun g -> `Glob g) (oneofl globals);
+      map (fun i -> `Buf i) (int_bound 1);
+    ]
+
+let assign lhs e =
+  match lhs with
+  | `Temp x -> Clight.Sset (x, e)
+  | `Glob g -> Clight.Sassign (Clight.Lglob g, e)
+  | `Buf i ->
+    Clight.Sassign
+      ( Clight.Lderef
+          (Clight.Ebinop (Ops.Oadd, Clight.Eaddrof "buf", Clight.Econst i)),
+        e )
+
+let rec gen_stmt n =
+  if n <= 0 then map2 assign gen_lhs (gen_expr 2)
+  else
+    frequency
+      [
+        (4, map2 assign gen_lhs (gen_expr 3));
+        ( 2,
+          map2
+            (fun a b -> Clight.Sseq (a, b))
+            (gen_stmt (n / 2)) (gen_stmt (n / 2)) );
+        ( 2,
+          map3
+            (fun e a b -> Clight.Sif (e, a, b))
+            (gen_expr 2) (gen_stmt (n / 2)) (gen_stmt (n / 2)) );
+        ( 1,
+          (* bounded loop: while (tL < k) { body; tL = tL + 1 } over a
+             dedicated counter temp so termination is structural *)
+          map2
+            (fun k body ->
+              Clight.Sseq
+                ( Clight.Sset ("loop", Clight.Econst 0),
+                  Clight.Swhile
+                    ( Clight.Ebinop (Ops.Olt, Clight.Etemp "loop", Clight.Econst k),
+                      Clight.Sseq
+                        ( body,
+                          Clight.Sset
+                            ( "loop",
+                              Clight.Ebinop
+                                (Ops.Oadd, Clight.Etemp "loop", Clight.Econst 1)
+                            ) ) ) ))
+            (int_range 1 3) (gen_stmt (n / 2)) );
+        ( 1,
+          map (fun e -> Clight.Scall (None, "print", [ e ])) (gen_expr 2) );
+      ]
+
+let gen_program : Clight.program QCheck.Gen.t =
+  let* body = sized_size (int_bound 12) gen_stmt in
+  let* ret = gen_expr 2 in
+  let init_temps =
+    List.fold_right
+      (fun t acc -> Clight.Sseq (Clight.Sset (t, Clight.Econst 0), acc))
+      temps
+      (Clight.Sseq
+         ( assign (`Buf 0) (Clight.Econst 0),
+           Clight.Sseq (assign (`Buf 1) (Clight.Econst 0), body) ))
+  in
+  return
+    {
+      Clight.globals =
+        List.map (fun g -> Genv.gvar ~init:[ Genv.Iint 1 ] g 1) globals;
+      funcs =
+        [
+          {
+            Clight.fname = "main";
+            fparams = [];
+            fvars = [ ("buf", 2) ];
+            fbody = Clight.Sseq (init_temps, Clight.Sreturn (Some ret));
+          };
+        ];
+    }
+
+let print_program (p : Clight.program) =
+  Fmt.str "%a"
+    Fmt.(
+      list ~sep:cut (fun ppf f ->
+          Fmt.pf ppf "%s() { %a }" f.Clight.fname Clight.pp_stmt f.Clight.fbody))
+    p.Clight.funcs
+
+let arb_program = QCheck.make ~print:print_program gen_program
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural comparison                                              *)
+(* ------------------------------------------------------------------ *)
+
+type obs = {
+  events : Event.t list;
+  ret : Value.t option;
+  aborted : bool;
+}
+
+let run_one (type code core) (lang : (code, core) Lang.t) (code : code) : obs =
+  match Genv.link [ lang.Lang.globals_of code ] with
+  | Error _ -> { events = []; ret = None; aborted = true }
+  | Ok genv -> (
+    let mem = Genv.init_memory genv in
+    let fl = Flist.make ~offset:(Genv.block_count genv) ~stride:1 in
+    match lang.Lang.init_core ~genv code ~entry:"main" ~args:[] with
+    | None -> { events = []; ret = None; aborted = true }
+    | Some core ->
+      let events = ref [] in
+      let rec go core mem steps =
+        if steps > 200_000 then { events = List.rev !events; ret = None; aborted = true }
+        else
+          match lang.Lang.step fl core mem with
+          | [] | Lang.Stuck_abort :: _ ->
+            { events = List.rev !events; ret = None; aborted = true }
+          | Lang.Next (Msg.Ret v, _, _, _) :: _ ->
+            { events = List.rev !events; ret = Some v; aborted = false }
+          | Lang.Next (Msg.Call ("print", [ Value.Vint n ]), _, core', mem') :: _
+            -> (
+            events := Event.Print n :: !events;
+            match lang.Lang.after_external core' None with
+            | Some core'' -> go core'' mem' (steps + 1)
+            | None -> { events = List.rev !events; ret = None; aborted = true })
+          | Lang.Next (_, _, core', mem') :: _ -> go core' mem' (steps + 1)
+      in
+      go core mem 0)
+
+let values_refine src tgt =
+  match (src, tgt) with
+  | Some Value.Vundef, Some _ -> true
+  | Some a, Some b -> Value.equal a b
+  | None, None -> true
+  | _ -> false
+
+let obs_refines (src : obs) (tgt : obs) =
+  if src.aborted then true (* UB in the source licenses anything *)
+  else
+    (not tgt.aborted)
+    && List.length src.events = List.length tgt.events
+    && List.for_all2 Event.equal src.events tgt.events
+    && values_refine src.ret tgt.ret
+
+(* ------------------------------------------------------------------ *)
+(* The differential properties                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_compiler_correct =
+  QCheck.Test.make ~name:"compiled x86 refines random source" ~count:300
+    arb_program (fun p ->
+      let src = run_one Clight.lang p in
+      let tgt = run_one Asm.lang (Cas_compiler.Driver.compile p) in
+      obs_refines src tgt)
+
+let prop_compiler_correct_noopt =
+  QCheck.Test.make ~name:"unoptimized pipeline refines random source"
+    ~count:150 arb_program (fun p ->
+      let src = run_one Clight.lang p in
+      let tgt =
+        run_one Asm.lang
+          (Cas_compiler.Driver.compile
+             ~options:{ Cas_compiler.Driver.optimize = false }
+             p)
+      in
+      obs_refines src tgt)
+
+let prop_every_stage_refines =
+  QCheck.Test.make ~name:"every IR stage refines random source" ~count:60
+    arb_program (fun p ->
+      let src = run_one Clight.lang p in
+      let a = Cas_compiler.Driver.compile_artifacts p in
+      let open Cas_compiler.Driver in
+      List.for_all
+        (fun o -> obs_refines src o)
+        [
+          run_one Clight.lang a.clight_simpl;
+          run_one Csharpminor.lang a.csharpminor;
+          run_one Cminor.lang a.cminor;
+          run_one Cminor.sel_lang a.cminorsel;
+          run_one Rtl.lang a.rtl;
+          run_one Rtl.lang a.rtl_deadcode;
+          run_one Ltl.lang a.ltl_tunneled;
+          run_one Linearl.lang a.linear_clean;
+          run_one Machl.lang a.mach;
+          run_one Asm.lang a.asm;
+        ])
+
+let prop_module_sim_on_random =
+  QCheck.Test.make ~name:"Def.2/3 simulation holds on random programs"
+    ~count:100 arb_program (fun p ->
+      let asm = Cas_compiler.Driver.compile p in
+      match
+        Cascompcert.Simulation.check ~src:(Clight.lang, p) ~tgt:(Asm.lang, asm)
+          ~entry:"main" ~args:[] ()
+      with
+      | Cascompcert.Simulation.Sim_fail _ -> false
+      | _ -> true)
+
+let () =
+  Alcotest.run "random-differential"
+    [
+      ( "compiler",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compiler_correct;
+            prop_compiler_correct_noopt;
+            prop_every_stage_refines;
+            prop_module_sim_on_random;
+          ] );
+    ]

@@ -1,0 +1,299 @@
+(** Tests for the footprint-preserving module-local simulation checker
+    (Def. 2/3): it must accept correct compilations and — crucially —
+    reject miscompilations of every flavour the definition guards
+    against: wrong events, extra shared writes (FPmatch), optimizations
+    that cache shared state across switch points (the §2.2 example), and
+    nondeterministic targets (det(tl)). *)
+
+open Cas_base
+open Cas_langs
+open Cascompcert
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let is_ok = function Simulation.Sim_ok _ -> true | _ -> false
+let is_fail = function Simulation.Sim_fail _ -> true | _ -> false
+
+let clight_sim src ~entry ~tweak =
+  let p = Parse.clight src in
+  let bad = tweak p in
+  Simulation.check ~src:(Clight.lang, p) ~tgt:(Clight.lang, bad) ~entry
+    ~args:[] ()
+
+(* ------------------------------------------------------------------ *)
+(* Positive cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_sim () =
+  let p = Corpus.counter () in
+  let o =
+    Simulation.check ~src:(Clight.lang, p) ~tgt:(Clight.lang, p) ~entry:"inc"
+      ~args:[] ()
+  in
+  check tbool "identity simulates" true (is_ok o)
+
+let test_full_pipeline_sim () =
+  List.iter
+    (fun (name, client, entries) ->
+      let asm = Cas_compiler.Driver.compile client in
+      List.iter
+        (fun entry ->
+          let arity =
+            match
+              List.find_opt (fun f -> f.Clight.fname = entry) client.Clight.funcs
+            with
+            | Some f -> List.length f.Clight.fparams
+            | None -> 0
+          in
+          let args = List.init arity (fun i -> Value.Vint (3 + i)) in
+          let o =
+            Simulation.check ~src:(Clight.lang, client) ~tgt:(Asm.lang, asm)
+              ~entry ~args ()
+          in
+          check tbool (Fmt.str "%s/%s compiles correctly" name entry) false
+            (is_fail o))
+        entries)
+    (Corpus.sequential_clients ())
+
+let test_sim_with_rely_perturbation () =
+  (* environment writes to the shared global between switch points; the
+     compiled code must still simulate (it cannot cache x across calls) *)
+  let p = Corpus.counter () in
+  let asm = Cas_compiler.Driver.compile p in
+  let env i =
+    { Simulation.ret = Value.Vint 0; perturb = Some ("x", 0, 40 + i) }
+  in
+  let o =
+    Simulation.check ~src:(Clight.lang, p) ~tgt:(Asm.lang, asm) ~entry:"inc"
+      ~args:[] ~env ()
+  in
+  check tbool "simulation robust to Rely writes" false (is_fail o)
+
+(* ------------------------------------------------------------------ *)
+(* Negative cases: the checker must catch miscompilations              *)
+(* ------------------------------------------------------------------ *)
+
+let test_detects_wrong_event () =
+  let src = {| void f() { print(1); } |} in
+  let o =
+    clight_sim src ~entry:"f" ~tweak:(fun _ -> Parse.clight {| void f() { print(2); } |})
+  in
+  check tbool "wrong print detected" true (is_fail o)
+
+let test_detects_extra_shared_write () =
+  (* target writes a shared global the source never touches: FPmatch *)
+  let src = {| int x = 0; void f() { print(0); } |} in
+  let o =
+    clight_sim src ~entry:"f"
+      ~tweak:(fun _ -> Parse.clight {| int x = 0; void f() { x = 1; print(0); } |})
+  in
+  check tbool "extra shared write detected" true (is_fail o)
+
+let test_detects_extra_shared_read () =
+  (* a read of shared memory the source never performs: δ.rs ⊄ φ{∆} *)
+  let src = {| int x = 0; void f() { print(7); } |} in
+  let o =
+    clight_sim src ~entry:"f"
+      ~tweak:(fun _ ->
+        Parse.clight {| int x = 0; void f() { int t; t = x; print(7); } |})
+  in
+  check tbool "extra shared read detected" true (is_fail o)
+
+let test_allows_write_to_read_weakening () =
+  (* FPmatch allows target reads where the source wrote *)
+  let src = {| int x = 0; void f() { x = 5; print(1); } |} in
+  let o =
+    clight_sim src ~entry:"f"
+      ~tweak:(fun _ ->
+        Parse.clight {| int x = 0; void f() { int t; x = 5; t = x; print(1); } |})
+  in
+  check tbool "read-after-write within source ws allowed" false (is_fail o)
+
+let test_detects_caching_across_switch_points () =
+  (* the §2.2 example: the compiler may not assume a shared global is
+     unchanged across an external call. Source re-reads x after the
+     call; a 'bad optimizer' caches the first read. *)
+  let src =
+    {| int x = 0;
+       void f() { int a; int b; a = x; g(); b = x; print(a + b); } |}
+  in
+  let cached =
+    {| int x = 0;
+       void f() { int a; int b; a = x; g(); b = a; print(a + b); } |}
+  in
+  let env i =
+    (* the environment (callee) writes x := 9 during the call *)
+    { Simulation.ret = Value.Vint 0; perturb = Some ("x", 0, 9 + i) }
+  in
+  let p = Parse.clight src in
+  let bad = Parse.clight cached in
+  let o =
+    Simulation.check ~src:(Clight.lang, p) ~tgt:(Clight.lang, bad) ~entry:"f"
+      ~args:[] ~env ()
+  in
+  check tbool "caching across call detected" true (is_fail o)
+
+let test_detects_wrong_return () =
+  let src = {| int f() { return 3; } |} in
+  let o =
+    clight_sim src ~entry:"f" ~tweak:(fun _ -> Parse.clight {| int f() { return 4; } |})
+  in
+  check tbool "wrong return value detected" true (is_fail o)
+
+let test_detects_target_abort () =
+  let src = {| void f() { print(1); } |} in
+  let o =
+    clight_sim src ~entry:"f"
+      ~tweak:(fun _ -> Parse.clight {| void f() { int t; t = *0; print(1); } |})
+  in
+  check tbool "target abort detected" true (is_fail o)
+
+let test_detects_event_reorder () =
+  let src = {| void f() { print(1); print(2); } |} in
+  let o =
+    clight_sim src ~entry:"f"
+      ~tweak:(fun _ -> Parse.clight {| void f() { print(2); print(1); } |})
+  in
+  check tbool "event reordering detected" true (is_fail o)
+
+(* ------------------------------------------------------------------ *)
+(* A deliberately broken compiler pass caught by the per-pass check    *)
+(* ------------------------------------------------------------------ *)
+
+let test_broken_constprop_detected () =
+  (* miscompile: pretend reads of globals yield 0 and fold them *)
+  let p = Parse.clight {| int x = 5; int f() { return x + 1; } |} in
+  let a = Cas_compiler.Driver.compile_artifacts p in
+  let break_fn (f : Rtl.func) =
+    {
+      f with
+      Rtl.code =
+        Rtl.IMap.map
+          (function
+            | Rtl.Iload (d, _, _, n) -> Rtl.Iop (Rtl.Oconst 0, d, n)
+            | i -> i)
+          f.Rtl.code;
+    }
+  in
+  let bad =
+    { a.Cas_compiler.Driver.rtl with Rtl.funcs = List.map break_fn a.Cas_compiler.Driver.rtl.Rtl.funcs }
+  in
+  let o =
+    Simulation.check
+      ~src:(Rtl.lang, a.Cas_compiler.Driver.rtl)
+      ~tgt:(Rtl.lang, bad) ~entry:"f" ~args:[] ()
+  in
+  check tbool "folding a global load is caught" true (is_fail o)
+
+(* ------------------------------------------------------------------ *)
+(* det(tl)                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_det_on_run () =
+  let p = Cas_compiler.Driver.compile (Corpus.const_cse ()) in
+  match Genv.link [ p.Asm.globals ] with
+  | Error _ -> Alcotest.fail "link"
+  | Ok genv -> (
+    let mem = Genv.init_memory genv in
+    let fl = Flist.make ~offset:(Genv.block_count genv) ~stride:1 in
+    match Asm.init_core ~genv p ~entry:"main" ~args:[] with
+    | None -> Alcotest.fail "init"
+    | Some core ->
+      check tbool "compiled x86 deterministic" true
+        (Simulation.det_on_run Asm.lang fl core mem ~bound:10_000))
+
+(* ------------------------------------------------------------------ *)
+(* β injectivity                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_beta_injective () =
+  let b = Simulation.beta_create () in
+  let a1 = Addr.make 1 0 and a2 = Addr.make 2 0 and a3 = Addr.make 3 0 in
+  check tbool "fresh pair" true (Simulation.beta_match b a1 a2);
+  check tbool "consistent repeat" true (Simulation.beta_match b a1 a2);
+  check tbool "source remap rejected" false (Simulation.beta_match b a1 a3);
+  check tbool "target remap rejected" false (Simulation.beta_match b a3 a2)
+
+(* ------------------------------------------------------------------ *)
+(* ReachClose (Def. 4)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_reach_close_corpus () =
+  List.iter
+    (fun (name, client, entries) ->
+      List.iter
+        (fun entry ->
+          let arity =
+            match
+              List.find_opt (fun f -> f.Clight.fname = entry) client.Clight.funcs
+            with
+            | Some f -> List.length f.Clight.fparams
+            | None -> 0
+          in
+          let args = List.init arity (fun i -> Value.Vint (2 + i)) in
+          let vs =
+            Simulation.check_reach_close Clight.lang client ~entry ~args ()
+          in
+          Alcotest.(check int)
+            (Fmt.str "%s/%s reach-closed" name entry)
+            0 (List.length vs))
+        entries)
+    (Corpus.sequential_clients ())
+
+let test_reach_close_object () =
+  let vs =
+    Simulation.check_reach_close Cimp.lang (Corpus.gamma_lock ())
+      ~entry:"unlock" ~args:[] ()
+  in
+  Alcotest.(check int) "gamma_lock unlock reach-closed" 0 (List.length vs)
+
+let test_reach_close_catches_escape () =
+  (* storing the address of a stack local into a shared global breaks
+     closed(S, Σ): a pointer from S into the freelist *)
+  let escaping =
+    Parse.clight {| int p = 0; void f() { int b; b = 0; p = &b; print(1); } |}
+  in
+  let vs = Simulation.check_reach_close Clight.lang escaping ~entry:"f" ~args:[] () in
+  check tbool "stack-pointer escape detected" true (List.length vs > 0)
+
+let () =
+  Alcotest.run "simulation"
+    [
+      ( "accepts",
+        [
+          Alcotest.test_case "identity" `Quick test_identity_sim;
+          Alcotest.test_case "full pipeline on corpus" `Slow
+            test_full_pipeline_sim;
+          Alcotest.test_case "robust to Rely writes" `Quick
+            test_sim_with_rely_perturbation;
+          Alcotest.test_case "write-to-read weakening" `Quick
+            test_allows_write_to_read_weakening;
+        ] );
+      ( "rejects",
+        [
+          Alcotest.test_case "wrong event" `Quick test_detects_wrong_event;
+          Alcotest.test_case "extra shared write" `Quick
+            test_detects_extra_shared_write;
+          Alcotest.test_case "extra shared read" `Quick
+            test_detects_extra_shared_read;
+          Alcotest.test_case "caching across switch points (§2.2)" `Quick
+            test_detects_caching_across_switch_points;
+          Alcotest.test_case "wrong return" `Quick test_detects_wrong_return;
+          Alcotest.test_case "target abort" `Quick test_detects_target_abort;
+          Alcotest.test_case "event reorder" `Quick test_detects_event_reorder;
+          Alcotest.test_case "broken pass" `Quick test_broken_constprop_detected;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "det on run" `Quick test_det_on_run;
+          Alcotest.test_case "beta injective" `Quick test_beta_injective;
+        ] );
+      ( "reach-close (Def. 4)",
+        [
+          Alcotest.test_case "corpus clients" `Quick test_reach_close_corpus;
+          Alcotest.test_case "lock object" `Quick test_reach_close_object;
+          Alcotest.test_case "escape caught" `Quick
+            test_reach_close_catches_escape;
+        ] );
+    ]
