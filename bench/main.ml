@@ -26,6 +26,54 @@ open Cas_conc
 module Corpus = Bench_corpus
 
 (* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable results                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Collected as the sections run, dumped at the end when --json is
+   given: every bechamel timing row, and every world count so the
+   engine-vs-naive reduction is machine-checkable. *)
+let json_benchmarks : (string * int * float) list ref = ref []
+let json_worlds : (string * string * int) list ref = ref []
+
+let record_worlds ~program ~engine worlds =
+  json_worlds := (program, engine, worlds) :: !json_worlds
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let sep first = if !first then first := false else pr ",\n" in
+  pr "{\n  \"benchmarks\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (name, runs, ns) ->
+      sep first;
+      pr "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_run\": %.2f}"
+        (json_escape name) runs ns)
+    (List.rev !json_benchmarks);
+  pr "\n  ],\n  \"worlds\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (program, engine, worlds) ->
+      sep first;
+      pr "    {\"program\": \"%s\", \"engine\": \"%s\", \"worlds\": %d}"
+        (json_escape program) (json_escape engine) worlds)
+    (List.rev !json_worlds);
+  pr "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.json results written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel helpers                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -39,14 +87,25 @@ let run_group ~name (tests : Test.t list) : (string * float) list =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances test in
+  let runs_of k =
+    match Hashtbl.find_opt raw k with
+    | Some b -> Array.length b.Benchmark.lr
+    | None -> 0
+  in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold
-    (fun k v acc ->
-      match Analyze.OLS.estimates v with
-      | Some (t :: _) -> (k, t) :: acc
-      | _ -> acc)
-    results []
-  |> List.sort compare
+  let rows =
+    Hashtbl.fold
+      (fun k v acc ->
+        match Analyze.OLS.estimates v with
+        | Some (t :: _) -> (k, t) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (k, t) -> json_benchmarks := (k, runs_of k, t) :: !json_benchmarks)
+    rows;
+  rows
 
 let pp_ns ppf t =
   if t > 1e9 then Fmt.pf ppf "%8.2f s " (t /. 1e9)
@@ -182,8 +241,8 @@ let fig2 () =
 let np_reduction () =
   Fmt.pr
     "@.=== NP-semantics reduction — why Lemma 9 matters quantitatively ===@.";
-  Fmt.pr "%-24s %10s %14s %14s %8s@." "program" "threads" "preempt worlds"
-    "np worlds" "ratio";
+  Fmt.pr "%-24s %7s %9s %9s %7s %9s %9s %7s@." "program" "threads" "preempt"
+    "np" "np-x" "dpor" "dpor-par" "dpor-x";
   let progs =
     [
       ("lock-counter", 2, Corpus.lock_counter_prog ());
@@ -223,10 +282,21 @@ let np_reduction () =
              ~visit:(fun _ -> ()))
             .Explore.visited
         in
+        let mc engine =
+          (Engine.explore ~engine ~max_worlds:400_000 w ~visit:(fun _ -> ()))
+            .Cas_mc.Stats.worlds
+        in
         let pre = count Preemptive.steps in
         let np = count Nonpreemptive.steps in
-        Fmt.pr "%-24s %10d %14d %14d %7.1fx@." name n pre np
-          (float_of_int pre /. float_of_int (max 1 np)))
+        let dpor = mc Engine.Dpor in
+        let dpor_par = mc Engine.Dpor_par in
+        record_worlds ~program:name ~engine:"naive" pre;
+        record_worlds ~program:name ~engine:"np" np;
+        record_worlds ~program:name ~engine:"dpor" dpor;
+        record_worlds ~program:name ~engine:"dpor-par" dpor_par;
+        let ratio a b = float_of_int a /. float_of_int (max 1 b) in
+        Fmt.pr "%-24s %7d %9d %9d %6.1fx %9d %9d %6.1fx@." name n pre np
+          (ratio pre np) dpor dpor_par (ratio pre dpor))
     progs
 
 (* ------------------------------------------------------------------ *)
@@ -237,8 +307,8 @@ let fig3 () =
   Fmt.pr "@.=== FIG 3 — extended framework: x86-TSO and the TTAS lock ===@.";
   let client = Cas_compiler.Driver.compile (Corpus.counter ()) in
   let gamma = Corpus.gamma_lock () in
-  Fmt.pr "%-14s %-36s %12s@." "lock" "Lemma 16 (TSO+pi <= SC+gamma)"
-    "TSO worlds";
+  Fmt.pr "%-14s %-36s %12s %12s@." "lock" "Lemma 16 (TSO+pi <= SC+gamma)"
+    "TSO worlds" "dpor worlds";
   let variants =
     [
       ("TTAS", Cas_tso.Locks.pi_lock);
@@ -259,9 +329,23 @@ let fig3 () =
              (Cas_tso.Tso.initials w) ~visit:(fun _ -> ()))
             .Explore.visited
       in
-      Fmt.pr "%-14s %-36s %12d@." name
+      let dpor_st =
+        match Cas_tso.Tso.load [ client; pi ] [ "inc"; "inc" ] with
+        | Error _ -> Cas_mc.Stats.zero ~engine:"dpor"
+        | Ok w ->
+          Cas_tso.Tso.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
+            ~visit:(fun _ -> ())
+      in
+      record_worlds ~program:("tso-" ^ name) ~engine:"naive" worlds;
+      record_worlds ~program:("tso-" ^ name) ~engine:"dpor"
+        dpor_st.Cas_mc.Stats.worlds;
+      (* the spinning TTAS loop violates the DPOR acyclicity
+         precondition: worlds shrink but the path budget truncates,
+         marked with a star *)
+      Fmt.pr "%-14s %-36s %12d %11d%s@." name
         (if g.Cas_tso.Objsim.holds then "holds" else "FAILS")
-        worlds)
+        worlds dpor_st.Cas_mc.Stats.worlds
+        (if dpor_st.Cas_mc.Stats.truncated then "*" else " "))
     variants;
   let sims =
     Cas_tso.Objsim.check_object_sim ~pi:Cas_tso.Locks.pi_lock ~gamma
@@ -387,6 +471,14 @@ let fig13 () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";
   Fmt.pr "(one section per paper figure/table; see EXPERIMENTS.md)@.";
   fig13 ();
@@ -394,4 +486,5 @@ let () =
   fig2 ();
   np_reduction ();
   fig3 ();
+  Option.iter write_json json_path;
   Fmt.pr "@.all benches done.@."

@@ -48,6 +48,26 @@ let with_lock_arg =
     value & flag
     & info [ "lock" ] ~doc:"link the CImp lock object (lock/unlock callable)")
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum (List.map (fun e -> (Engine.to_string e, e)) Engine.all)
+  in
+  Arg.(
+    value
+    & opt engine_conv Engine.Naive
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "exploration engine: $(b,naive) (exhaustive BFS/DFS, the oracle), \
+           $(b,dpor) (footprint-guided dynamic partial-order reduction), or \
+           $(b,dpor-par) (DPOR with root branches on parallel domains)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"worker domains for $(b,dpor-par) (default: cores - 1)")
+
 let ir_arg =
   Arg.(
     value
@@ -145,7 +165,7 @@ let run_cmd =
     Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ compiled_arg)
 
 let drf_cmd =
-  let run file entries with_lock =
+  let run file entries with_lock engine jobs =
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -157,13 +177,16 @@ let drf_cmd =
         Fmt.epr "load error: %a@." World.pp_load_error e;
         1
       | Ok w ->
-        let r = Race.drf w in
+        let r = Race.drf ~engine ?jobs w in
         Fmt.pr "%a@." Race.pp_drf_report r;
+        Option.iter
+          (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
+          r.Race.engine_stats;
         if r.Race.drf then 0 else 2)
   in
   Cmd.v
     (Cmd.info "drf" ~doc:"exhaustive data-race detection (Fig. 9)")
-    Term.(const run $ file_arg $ entries_arg $ with_lock_arg)
+    Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ engine_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check / sim / tso                                                    *)
@@ -211,7 +234,7 @@ let sim_cmd =
     Term.(const run $ file_arg)
 
 let tso_cmd =
-  let run file entries =
+  let run file entries engine jobs =
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -223,11 +246,12 @@ let tso_cmd =
         Fmt.epr "load error: %a@." World.pp_load_error e;
         1
       | Ok w ->
-        let tr = Cas_tso.Tso.traces w in
+        let tr, st = Cas_tso.Tso.mc_traces ~engine ?jobs w in
         Fmt.pr "x86-TSO traces (with the TTAS spin lock):@.%a@."
           Explore.TraceSet.pp tr.Explore.traces;
+        if engine <> Engine.Naive then Fmt.pr "engine: %a@." Cas_mc.Stats.pp st;
         let g =
-          Cas_tso.Objsim.check_drf_guarantee ~clients:[ asm ]
+          Cas_tso.Objsim.check_drf_guarantee ~engine ?jobs ~clients:[ asm ]
             ~pi:Cas_tso.Locks.pi_lock ~gamma:(Cimp.gamma_lock ()) ~entries ()
         in
         Fmt.pr "Lemma 16: %a@." Cas_tso.Objsim.pp_guarantee g;
@@ -236,7 +260,7 @@ let tso_cmd =
   Cmd.v
     (Cmd.info "tso"
        ~doc:"run compiled code against the TTAS lock on the x86-TSO machine")
-    Term.(const run $ file_arg $ entries_arg)
+    Term.(const run $ file_arg $ entries_arg $ engine_arg $ jobs_arg)
 
 let () =
   let doc = "certified-separate-compilation playground (CASCompCert reproduction)" in

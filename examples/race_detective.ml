@@ -56,7 +56,25 @@ let () =
   | Error e -> Fmt.pr "load error: %a@." World.pp_load_error e
   | Ok w ->
     Fmt.pr "race predictor: %a@." Race.pp_drf_report (Race.drf w);
-    Fmt.pr "NPDRF:          %a@.@." Race.pp_drf_report (Race.npdrf w));
+    Fmt.pr "NPDRF:          %a@.@." Race.pp_drf_report (Race.npdrf w);
+
+    (* same verdict from every engine; DPOR prunes the commuting
+       interleavings the footprints prove equivalent (§2.3) *)
+    Fmt.pr "== The same check, engine by engine ==@.";
+    List.iter
+      (fun e ->
+        let r = Race.drf ~engine:e ~jobs:2 w in
+        match r.Race.engine_stats with
+        | Some st ->
+          Fmt.pr "%-8s %s: %a@." (Engine.to_string e)
+            (if r.Race.drf then "DRF" else "RACE")
+            Cas_mc.Stats.pp st
+        | None ->
+          Fmt.pr "%-8s %s: %a@." (Engine.to_string e)
+            (if r.Race.drf then "DRF" else "RACE")
+            Explore.pp_stats r.Race.stats)
+      Engine.all;
+    Fmt.pr "@.");
 
   Fmt.pr "== Why Lemma 9 needs DRF ==@.";
   (* writer: x=1; x=2 ∥ reader: print(x) *)

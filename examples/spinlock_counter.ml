@@ -68,7 +68,16 @@ let () =
   | Ok w ->
     let tr = Tso.traces ~max_steps:2500 w in
     Fmt.pr "TSO traces (benign races confined to L):@,%a@.@."
-      Explore.TraceSet.pp tr.Explore.traces);
+      Explore.TraceSet.pp tr.Explore.traces;
+    (* the DPOR engine covers the TSO state space in far fewer distinct
+       worlds (drains are ordinary footprinted transitions) — but the
+       spinning TTAS loop is exactly the cyclic conflict structure the
+       DPOR precondition in DESIGN.md warns about: cycle cuts force
+       re-exploration, so the saving is in worlds, not wall time *)
+    let naive = Tso.explore w ~visit:(fun _ -> ()) in
+    let dpor = Tso.explore ~engine:Engine.Dpor w ~visit:(fun _ -> ()) in
+    Fmt.pr "state space: %a@.     versus: %a@.@." Cas_mc.Stats.pp naive
+      Cas_mc.Stats.pp dpor);
 
   Fmt.pr "== Object simulation: π_lock ≼ᵒ γ_lock ==@.";
   let sims =

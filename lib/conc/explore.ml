@@ -1,8 +1,15 @@
-(** Bounded-exhaustive state-space exploration: the engine behind every
+(** Bounded-exhaustive state-space exploration: the interface behind every
     empirical check in this reproduction (DRF, trace refinement, the
     preemptive/non-preemptive equivalence, and the TSO machine of §7.3).
     It is generic in the world type; [Cas_tso] instantiates it with
-    store-buffer worlds. Worlds are memoized by canonical fingerprint. *)
+    store-buffer worlds. Worlds are memoized by canonical fingerprint.
+
+    The engines themselves live in [Cas_mc]; this module keeps the
+    historical [system]/[gsucc] interface (successor functions without
+    footprints) and adapts it to [Cas_mc.Mcsys] with unknown thread ids —
+    such systems are explorable only by the naive engine. Footprint-aware
+    systems that the DPOR engines can reduce are built in
+    [Cas_conc.Engine] and [Cas_tso]. *)
 
 open Cas_base
 
@@ -27,41 +34,54 @@ let pp_stats ppf s =
     (if s.truncated then " (truncated)" else "")
     (if s.abort_reachable then " (abort reachable)" else "")
 
-(** Breadth-first reachability. [visit] is called once per distinct world. *)
-let reachable_gen ?(max_worlds = 200_000) (sys : 'w system)
-    (initials : 'w list) ~(visit : 'w -> unit) : stats =
-  let seen = Hashtbl.create 1024 in
-  let queue = Queue.create () in
-  let transitions = ref 0 in
-  let truncated = ref false in
-  let abort = ref false in
-  let push w =
-    let fp = sys.fingerprint w in
-    if not (Hashtbl.mem seen fp) then
-      if Hashtbl.length seen >= max_worlds then truncated := true
-      else begin
-        Hashtbl.add seen fp ();
-        Queue.add w queue
-      end
-  in
-  List.iter push initials;
-  while not (Queue.is_empty queue) do
-    let w = Queue.pop queue in
-    visit w;
-    List.iter
-      (fun s ->
-        incr transitions;
-        match s with
-        | GAbort -> abort := true
-        | GNext (_, w') -> push w')
-      (sys.steps w)
-  done;
+let stats_of_mc (s : Cas_mc.Stats.t) : stats =
   {
-    visited = Hashtbl.length seen;
-    transitions = !transitions;
-    truncated = !truncated;
-    abort_reachable = !abort;
+    visited = s.Cas_mc.Stats.worlds;
+    transitions = s.Cas_mc.Stats.transitions;
+    truncated = s.Cas_mc.Stats.truncated;
+    abort_reachable = s.Cas_mc.Stats.abort_reachable;
   }
+
+(** Adapt a successor-function system to the model-checking interface.
+    Thread ids and footprints are unknown here (tid = -1, empty fp), so
+    the result must only be explored naively — [Mcsys.dependent] would be
+    vacuous on it. *)
+let to_mc (sys : 'w system) : 'w Cas_mc.Mcsys.t =
+  {
+    Cas_mc.Mcsys.fingerprint = sys.fingerprint;
+    all_done = sys.all_done;
+    trans =
+      (fun w ->
+        List.map
+          (fun s ->
+            match s with
+            | GAbort ->
+              {
+                Cas_mc.Mcsys.tid = -1;
+                label = Cas_mc.Mcsys.Ltau;
+                fp = Footprint.empty;
+                target = Cas_mc.Mcsys.Abort;
+              }
+            | GNext (g, w') ->
+              let label =
+                match g with
+                | World.Gevt e -> Cas_mc.Mcsys.Levt e
+                | World.Gtau -> Cas_mc.Mcsys.Ltau
+                | World.Gsw -> Cas_mc.Mcsys.Lsw
+              in
+              {
+                Cas_mc.Mcsys.tid = -1;
+                label;
+                fp = Footprint.empty;
+                target = Cas_mc.Mcsys.Next w';
+              })
+          (sys.steps w));
+  }
+
+(** Breadth-first reachability. [visit] is called once per distinct world. *)
+let reachable_gen ?max_worlds (sys : 'w system) (initials : 'w list)
+    ~(visit : 'w -> unit) : stats =
+  stats_of_mc (Cas_mc.Naive.reachable ?max_worlds (to_mc sys) initials ~visit)
 
 (* ------------------------------------------------------------------ *)
 (* Trace enumeration                                                   *)
@@ -71,43 +91,17 @@ let reachable_gen ?(max_worlds = 200_000) (sys : 'w system)
     finished; [SAbort] — some thread aborted; [SCut] — the execution was
     cut at a cycle or at the step budget (a divergent or unfinished
     schedule). *)
-type status = SDone | SAbort | SCut
+type status = Cas_mc.Trace.status = SDone | SAbort | SCut
 
-type trace = Event.t list * status
+type trace = Cas_mc.Trace.t
 
-let pp_status ppf = function
-  | SDone -> Fmt.string ppf "done"
-  | SAbort -> Fmt.string ppf "abort"
-  | SCut -> Fmt.string ppf "..."
+let pp_status = Cas_mc.Trace.pp_status
+let pp_trace = Cas_mc.Trace.pp
+let trace_key = Cas_mc.Trace.key
 
-let pp_trace ppf (es, st) =
-  Fmt.pf ppf "[%a]%a" Fmt.(list ~sep:comma Event.pp) es pp_status st
+module TraceSet = Cas_mc.Trace.Set
 
-let trace_key (es, st) =
-  String.concat ","
-    (List.map Event.to_string es
-    @ [ (match st with SDone -> "$D" | SAbort -> "$A" | SCut -> "$C") ])
-
-module TraceSet = struct
-  module M = Map.Make (String)
-
-  type t = trace M.t
-
-  let empty : t = M.empty
-  let add tr s = M.add (trace_key tr) tr s
-  let mem tr s = M.mem (trace_key tr) s
-  let elements (s : t) = List.map snd (M.bindings s)
-  let cardinal = M.cardinal
-  let union a b = M.union (fun _ x _ -> Some x) a b
-  let subset a b = M.for_all (fun k _ -> M.mem k b) a
-  let equal a b = subset a b && subset b a
-  let filter f (s : t) = M.filter (fun _ tr -> f tr) s
-
-  let pp ppf s =
-    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_trace) (elements s)
-end
-
-type trace_result = {
+type trace_result = Cas_mc.Trace.result = {
   traces : TraceSet.t;
   complete : bool;
       (** false if the path/step budget was exhausted anywhere *)
@@ -116,44 +110,9 @@ type trace_result = {
 (** Enumerate event traces along cycle-free schedule paths (depth-first,
     cutting when a world repeats on the current path — the continuation
     is a divergent schedule — or when budgets are exhausted). *)
-let traces_gen ?(max_steps = 4000) ?(max_paths = 200_000) (sys : 'w system)
-    (initials : 'w list) : trace_result =
-  let module SSet = Set.Make (String) in
-  let acc = ref TraceSet.empty in
-  let paths = ref 0 in
-  let complete = ref true in
-  let emit tr = acc := TraceSet.add tr !acc in
-  let rec go w on_path events budget =
-    if !paths > max_paths then complete := false
-    else if budget = 0 then begin
-      complete := false;
-      emit (List.rev events, SCut)
-    end
-    else if sys.all_done w then emit (List.rev events, SDone)
-    else
-      let fp = sys.fingerprint w in
-      if SSet.mem fp on_path then emit (List.rev events, SCut)
-      else begin
-        let succs = sys.steps w in
-        if succs = [] then emit (List.rev events, SCut)
-        else
-          List.iter
-            (fun s ->
-              incr paths;
-              match s with
-              | GAbort -> emit (List.rev events, SAbort)
-              | GNext (gmsg, w') ->
-                let events' =
-                  match gmsg with
-                  | World.Gevt e -> e :: events
-                  | World.Gtau | World.Gsw -> events
-                in
-                go w' (SSet.add fp on_path) events' (budget - 1))
-            succs
-      end
-  in
-  List.iter (fun w -> go w SSet.empty [] max_steps) initials;
-  { traces = !acc; complete = !complete }
+let traces_gen ?max_steps ?max_paths (sys : 'w system) (initials : 'w list) :
+    trace_result =
+  fst (Cas_mc.Naive.traces ?max_steps ?max_paths (to_mc sys) initials)
 
 (* ------------------------------------------------------------------ *)
 (* Instantiation for the interleaving worlds of [World]                *)

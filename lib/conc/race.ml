@@ -19,22 +19,10 @@ open Cas_base
 type prediction = Footprint.t * bool
 
 (** Accumulated footprint of the atomic block entered by the given
-    successor world (thread [tid] just performed EntAtom). *)
-let atomic_block_fp (w : World.t) tid ~bound : Footprint.t =
-  let rec go w acc bound =
-    if bound = 0 then acc
-    else
-      let succs = World.local_steps w tid in
-      List.fold_left
-        (fun acc s ->
-          match s with
-          | World.LAbort -> acc
-          | World.LNext (Msg.ExtAtom, fp, _) -> Footprint.union acc fp
-          | World.LNext (_, fp, w') ->
-            go w' (Footprint.union acc fp) (bound - 1))
-        acc succs
-  in
-  go w Footprint.empty bound
+    successor world (thread [tid] just performed EntAtom). Shared with
+    the selection view of [Engine], which uses it to summarize whole
+    blocks on their entry transitions. *)
+let atomic_block_fp = Engine.atomic_block_fp
 
 let predict ?(atomic_bound = 1000) (w : World.t) (tid : int) : prediction list =
   if World.dbit w tid then []
@@ -125,6 +113,8 @@ type drf_report = {
   drf : bool;
   witness : (int * prediction * int * prediction) option;
   stats : Explore.stats;
+  engine_stats : Cas_mc.Stats.t option;
+      (** full engine accounting when a [Cas_mc] engine ran the search *)
 }
 
 let pp_drf_report ppf r =
@@ -148,9 +138,31 @@ let check ?(max_worlds = 200_000) ?predictor (step : Gsem.stepf)
           | Some wt -> witness := Some wt
           | None -> ())
   in
-  { drf = !witness = None; witness = !witness; stats }
+  { drf = !witness = None; witness = !witness; stats; engine_stats = None }
 
-let drf ?max_worlds w0 = check ?max_worlds Preemptive.steps w0
+(** DRF(P) with a selectable exploration engine: [Naive] is [check] on
+    the scheduler-explicit preemptive graph; the DPOR engines run the
+    race predictor over the reduced thread-selection view (the predictor
+    reads only thread states and memory — never [cur] — so its verdict
+    is well-defined on selection worlds). *)
+let drf ?max_worlds ?(engine = Engine.Naive) ?jobs w0 =
+  match engine with
+  | Engine.Naive -> check ?max_worlds Preemptive.steps w0
+  | Engine.Dpor | Engine.Dpor_par ->
+    let witness = ref None in
+    let st =
+      Engine.explore ~engine ?jobs ?max_worlds w0 ~visit:(fun w ->
+          if !witness = None then
+            match race_witness w with
+            | Some wt -> witness := Some wt
+            | None -> ())
+    in
+    {
+      drf = !witness = None;
+      witness = !witness;
+      stats = Explore.stats_of_mc st;
+      engine_stats = Some st;
+    }
 
 let npdrf ?max_worlds w0 =
   check ?max_worlds

@@ -84,10 +84,12 @@ let live_tids w =
 let all_done w = live_tids w = []
 let dbit w tid = Option.value ~default:false (IMap.find_opt tid w.dbits)
 
-let fingerprint w =
+(** Canonical fingerprint of everything but the scheduler choice [cur]:
+    the state key of the thread-selection view used by the DPOR engines
+    ([Cas_conc.Engine]), where the scheduled thread is part of the
+    transition, not of the state. *)
+let fingerprint_nocur w =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (string_of_int w.cur);
-  Buffer.add_char buf '|';
   IMap.iter
     (fun tid t ->
       Buffer.add_string buf (string_of_int tid);
@@ -101,6 +103,8 @@ let fingerprint w =
     w.threads;
   Buffer.add_string buf (Memory.fingerprint w.mem);
   Buffer.contents buf
+
+let fingerprint w = string_of_int w.cur ^ "|" ^ fingerprint_nocur w
 
 (* ------------------------------------------------------------------ *)
 (* Local steps of one thread, with call/return linking                 *)

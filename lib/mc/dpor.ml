@@ -1,0 +1,399 @@
+(** Dynamic partial-order reduction (Flanagan–Godefroid style) with
+    persistent/backtrack sets and sleep sets, using footprint disjointness
+    as the independence oracle.
+
+    The engine explores a depth-first tree of schedules. At each world it
+    initially schedules a *single* thread; whenever a later transition is
+    found to depend on an earlier one (their footprints conflict, or both
+    are observable — [Mcsys.dependent]), the thread is added to the
+    *backtrack set* of the world the earlier transition was taken from,
+    forcing the conflicting order to be explored too. *Sleep sets* carry
+    already-explored threads forward so that commuting reorderings of the
+    same Mazurkiewicz trace are pruned.
+
+    Soundness precondition (see DESIGN.md "Exploration engines"): the
+    reduction preserves the set of event traces, abort reachability, and
+    race-predictor verdicts when the conflict structure is DRF-style
+    acyclic up to the bound — conflicting accesses are either ordered by
+    the program or explicitly explored in both orders here. State-space
+    *cycles* (spin loops) are cut when a world repeats on the current
+    schedule path, exactly as the naive trace enumerator does, so all
+    verdicts are sound-up-to-bound; the differential tests in
+    [test/test_mc.ml] check engine agreement on the corpus. *)
+
+open Cas_base
+module ISet = Set.Make (Int)
+module SSet = Set.Make (String)
+
+type cfg = { max_worlds : int; max_depth : int; max_paths : int }
+
+let default_cfg =
+  { max_worlds = 200_000; max_depth = 4000; max_paths = 200_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-thread transition groups                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All transitions of one thread at one world, with the footprint/
+    observability summary used for dependence at thread granularity
+    (a thread's transitions from a given world are mutually dependent —
+    they are alternative next steps of the same sequential core). *)
+type 'w group = {
+  g_tid : int;
+  g_trans : 'w Mcsys.trans list;
+  g_fp : Footprint.t;
+  g_obs : bool;
+}
+
+let group_by_tid (trans : 'w Mcsys.trans list) : 'w group list =
+  let tbl : (int, 'w Mcsys.trans list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (t : 'w Mcsys.trans) ->
+      match Hashtbl.find_opt tbl t.Mcsys.tid with
+      | None ->
+        Hashtbl.add tbl t.Mcsys.tid (ref [ t ]);
+        order := t.Mcsys.tid :: !order
+      | Some r -> r := t :: !r)
+    trans;
+  List.rev_map
+    (fun tid ->
+      let ts = List.rev !(Hashtbl.find tbl tid) in
+      {
+        g_tid = tid;
+        g_trans = ts;
+        g_fp = Footprint.union_all (List.map (fun t -> t.Mcsys.fp) ts);
+        g_obs = List.exists Mcsys.is_obs ts;
+      })
+    !order
+
+(** Is thread [g]'s next step (at the current world) dependent with the
+    executed transition [t]? *)
+let dep_group (g : 'w group) (t : 'w Mcsys.trans) =
+  g.g_tid = t.Mcsys.tid
+  || Footprint.conflict g.g_fp t.Mcsys.fp
+  || (g.g_obs && Mcsys.is_obs t)
+
+(* ------------------------------------------------------------------ *)
+(* Sleep sets                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A sleeping thread: explored from an earlier sibling branch, skipped
+    here unless a dependent transition wakes it (removes it). *)
+type slept = { s_tid : int; s_fp : Footprint.t; s_obs : bool }
+
+let slept_of_group g = { s_tid = g.g_tid; s_fp = g.g_fp; s_obs = g.g_obs }
+
+let survives_sleep (s : slept) (t : 'w Mcsys.trans) =
+  s.s_tid <> t.Mcsys.tid
+  && (not (Footprint.conflict s.s_fp t.Mcsys.fp))
+  && not (s.s_obs && Mcsys.is_obs t)
+
+(* ------------------------------------------------------------------ *)
+(* DFS frames                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** One world on the current schedule path. [f_backtrack] is mutable: it
+    grows while descendants discover dependences (the "dynamic" of DPOR). *)
+type frame = {
+  f_enabled : ISet.t;
+  mutable f_backtrack : ISet.t;
+  mutable f_done : ISet.t;
+}
+
+type 'w state = {
+  sys : 'w Mcsys.t;
+  cfg : cfg;
+  store : Store.t;
+  on_world : 'w -> unit;
+  emit : Trace.t -> unit;
+  paths : int Atomic.t;
+  transitions : int Atomic.t;
+  sleeps : int Atomic.t;
+  backs : int Atomic.t;
+  abort : bool Atomic.t;
+  incomplete : bool Atomic.t;
+}
+
+(** Explore from world [w]. [path] is the current schedule, newest first:
+    each element pairs an executed transition with the frame of the world
+    it was taken *from* (DPOR's pre(S, i)). [events] is the reversed
+    event trace so far; [sleep] the inherited sleep set. *)
+let rec explore (rs : 'w state) path on_path w events sleep depth =
+  if Atomic.get rs.paths > rs.cfg.max_paths then
+    Atomic.set rs.incomplete true
+  else begin
+    let wfp = rs.sys.Mcsys.fingerprint w in
+    (match Store.add rs.store wfp with
+    | `New -> rs.on_world w
+    | `Seen -> ()
+    | `Full -> Atomic.set rs.incomplete true);
+    if rs.sys.Mcsys.all_done w then rs.emit (List.rev events, Trace.SDone)
+    else if depth >= rs.cfg.max_depth then begin
+      Atomic.set rs.incomplete true;
+      rescue rs path w;
+      rs.emit (List.rev events, Trace.SCut)
+    end
+    else if SSet.mem wfp on_path then begin
+      (* a cycle on the current schedule: the continuation diverges *)
+      rescue rs path w;
+      rs.emit (List.rev events, Trace.SCut)
+    end
+    else begin
+      let groups = group_by_tid (rs.sys.Mcsys.trans w) in
+      if groups = [] then rs.emit (List.rev events, Trace.SCut)
+      else begin
+        (* Backtrack-point computation: for each thread pending here, find
+           the most recent executed transition of another thread it
+           depends on, and request this thread (or, if it was not enabled
+           there, every enabled thread — the conservative fallback) at
+           the frame that transition was taken from. *)
+        List.iter
+          (fun g ->
+            match
+              List.find_opt
+                (fun (_, tk) -> tk.Mcsys.tid <> g.g_tid && dep_group g tk)
+                path
+            with
+            | None -> ()
+            | Some (f, _) ->
+              if
+                not
+                  (ISet.mem g.g_tid f.f_done || ISet.mem g.g_tid f.f_backtrack)
+              then begin
+                Atomic.incr rs.backs;
+                f.f_backtrack <-
+                  (if ISet.mem g.g_tid f.f_enabled then
+                     ISet.add g.g_tid f.f_backtrack
+                   else ISet.union f.f_backtrack f.f_enabled)
+              end)
+          groups;
+        let sleep_tids =
+          List.fold_left (fun s q -> ISet.add q.s_tid s) ISet.empty sleep
+        in
+        match
+          List.filter (fun g -> not (ISet.mem g.g_tid sleep_tids)) groups
+        with
+        | [] ->
+          (* every pending thread is asleep: this schedule is a commuting
+             reordering of one already explored — prune the subtree *)
+          Atomic.incr rs.sleeps
+        | g0 :: _ ->
+          let enabled =
+            List.fold_left (fun s g -> ISet.add g.g_tid s) ISet.empty groups
+          in
+          let frame =
+            {
+              f_enabled = enabled;
+              f_backtrack = ISet.singleton g0.g_tid;
+              f_done = ISet.empty;
+            }
+          in
+          run_frame rs path on_path wfp events sleep depth frame groups
+            sleep_tids
+      end
+    end
+  end
+
+(** Cut rescue. DPOR's soundness argument needs *maximal* executions:
+    a thread whose pending transitions never conflict with anything
+    executed would otherwise never be scheduled, and cutting a branch at
+    a cycle (one thread spinning) or at the depth bound ends it while
+    other threads are still enabled — their subtrees would be lost, not
+    reduced. So at every cut, each thread still pending is re-enabled at
+    the most recent frame where the scheduler could have picked it. *)
+and rescue rs path w =
+  List.iter
+    (fun g ->
+      match
+        List.find_opt (fun (f, _) -> ISet.mem g.g_tid f.f_enabled) path
+      with
+      | Some (f, _)
+        when not (ISet.mem g.g_tid f.f_done || ISet.mem g.g_tid f.f_backtrack)
+        ->
+        Atomic.incr rs.backs;
+        f.f_backtrack <- ISet.add g.g_tid f.f_backtrack
+      | _ -> ())
+    (group_by_tid (rs.sys.Mcsys.trans w))
+
+(** The exploration loop at one world: drain the (growing) backtrack set,
+    exploring each scheduled thread's transitions and putting explored
+    threads to sleep for their younger siblings. *)
+and run_frame rs path on_path wfp events sleep depth frame groups sleep_tids =
+  let on_path' = SSet.add wfp on_path in
+  let explored = ref [] in
+  let rec loop () =
+    match ISet.min_elt_opt (ISet.diff frame.f_backtrack frame.f_done) with
+    | None -> ()
+    | Some p ->
+      frame.f_done <- ISet.add p frame.f_done;
+      if ISet.mem p sleep_tids then begin
+        (* requested by a backtrack point but asleep: its subtree here is
+           covered by the sibling branch that put it to sleep *)
+        Atomic.incr rs.sleeps;
+        loop ()
+      end
+      else begin
+        (match List.find_opt (fun g -> g.g_tid = p) groups with
+        | None -> () (* a backtracked thread with no pending transition *)
+        | Some g ->
+          List.iter
+            (fun (t : 'w Mcsys.trans) ->
+              Atomic.incr rs.transitions;
+              Atomic.incr rs.paths;
+              match t.Mcsys.target with
+              | Mcsys.Abort ->
+                Atomic.set rs.abort true;
+                rs.emit (List.rev events, Trace.SAbort)
+              | Mcsys.Next w' ->
+                let sleep' =
+                  List.filter
+                    (fun s -> survives_sleep s t)
+                    (sleep @ List.rev !explored)
+                in
+                let events' =
+                  match t.Mcsys.label with
+                  | Mcsys.Levt e -> e :: events
+                  | Mcsys.Ltau | Mcsys.Lsw -> events
+                in
+                explore rs ((frame, t) :: path) on_path' w' events' sleep'
+                  (depth + 1))
+            g.g_trans;
+          explored := slept_of_group g :: !explored);
+        loop ()
+      end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the DPOR engine. [collect] selects trace accumulation (trace
+    enumeration) vs. pure reachability; [on_world] is called once per
+    distinct world (under a lock when [jobs > 1]).
+
+    With [jobs > 1], the root world's scheduling choices are expanded
+    *without* reduction (its persistent set is every enabled thread) and
+    each root branch becomes an independent task for the domain pool —
+    subtree exploration still reduces normally. This costs a little
+    pruning at the root, buys conflict-free parallelism, and keeps
+    verdicts deterministic: tasks share only the (thread-safe) canonical
+    store and the atomic accounting. *)
+let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
+    (sys : 'w Mcsys.t) (initials : 'w list) ~(on_world : 'w -> unit) :
+    Trace.result * Stats.t =
+  let t0 = Unix.gettimeofday () *. 1e9 in
+  let store = Store.create ~capacity:cfg.max_worlds () in
+  let traces = ref Trace.Set.empty in
+  let tlock = Mutex.create () in
+  let wlock = Mutex.create () in
+  let parallel = jobs > 1 in
+  let emit tr =
+    if collect then
+      if parallel then begin
+        Mutex.lock tlock;
+        traces := Trace.Set.add tr !traces;
+        Mutex.unlock tlock
+      end
+      else traces := Trace.Set.add tr !traces
+  in
+  let on_world =
+    if parallel then fun w ->
+      Mutex.lock wlock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock wlock)
+        (fun () -> on_world w)
+    else on_world
+  in
+  let rs =
+    {
+      sys;
+      cfg;
+      store;
+      on_world;
+      emit;
+      paths = Atomic.make 0;
+      transitions = Atomic.make 0;
+      sleeps = Atomic.make 0;
+      backs = Atomic.make 0;
+      abort = Atomic.make false;
+      incomplete = Atomic.make false;
+    }
+  in
+  if not parallel then
+    List.iter (fun w0 -> explore rs [] SSet.empty w0 [] [] 0) initials
+  else begin
+    (* Root split: one task per (initial, root transition). Each task owns
+       a private copy of the root frame with done = enabled, so dynamic
+       backtrack requests at the root are no-ops — every root branch is
+       already a task. *)
+    let tasks =
+      List.concat_map
+        (fun w0 ->
+          let wfp = sys.Mcsys.fingerprint w0 in
+          (match Store.add store wfp with
+          | `New -> rs.on_world w0
+          | `Seen | `Full -> ());
+          if sys.Mcsys.all_done w0 then begin
+            emit ([], Trace.SDone);
+            []
+          end
+          else begin
+            let groups = group_by_tid (sys.Mcsys.trans w0) in
+            if groups = [] then begin
+              emit ([], Trace.SCut);
+              []
+            end
+            else begin
+              let enabled =
+                List.fold_left
+                  (fun s g -> ISet.add g.g_tid s)
+                  ISet.empty groups
+              in
+              List.concat_map
+                (fun g ->
+                  List.map
+                    (fun (t : 'w Mcsys.trans) () ->
+                      let frame =
+                        {
+                          f_enabled = enabled;
+                          f_backtrack = enabled;
+                          f_done = enabled;
+                        }
+                      in
+                      Atomic.incr rs.transitions;
+                      Atomic.incr rs.paths;
+                      match t.Mcsys.target with
+                      | Mcsys.Abort ->
+                        Atomic.set rs.abort true;
+                        emit ([], Trace.SAbort)
+                      | Mcsys.Next w' ->
+                        let events =
+                          match t.Mcsys.label with
+                          | Mcsys.Levt e -> [ e ]
+                          | Mcsys.Ltau | Mcsys.Lsw -> []
+                        in
+                        explore rs
+                          [ (frame, t) ]
+                          (SSet.singleton wfp) w' events [] 1)
+                    g.g_trans)
+                groups
+            end
+          end)
+        initials
+    in
+    ignore (Frontier.run ~jobs tasks : unit list)
+  end;
+  ( { Trace.traces = !traces; complete = not (Atomic.get rs.incomplete) },
+    {
+      Stats.engine = (if parallel then Fmt.str "dpor-par(%d)" jobs else "dpor");
+      worlds = Store.distinct store;
+      transitions = Atomic.get rs.transitions;
+      sleep_prunings = Atomic.get rs.sleeps;
+      backtracks = Atomic.get rs.backs;
+      store_hits = Store.hits store;
+      truncated = Atomic.get rs.incomplete;
+      abort_reachable = Atomic.get rs.abort;
+      wall_ns = (Unix.gettimeofday () *. 1e9) -. t0;
+    } )

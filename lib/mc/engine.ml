@@ -1,0 +1,60 @@
+(** Engine selection: the single entry point callers use to explore a
+    system or enumerate its traces with a chosen engine.
+
+    - [Naive]: bounded-exhaustive BFS / schedule-tree DFS; the oracle.
+    - [Dpor]: footprint-guided dynamic partial-order reduction.
+    - [Dpor_par]: the same DPOR core with root branches distributed over
+      a pool of OCaml 5 domains ([jobs]).
+
+    DPOR engines require a system whose transitions carry real thread ids
+    and footprints and whose fingerprints are scheduler-independent (see
+    [Mcsys]); systems adapted from plain successor functions (tid = -1)
+    are only naive-explorable. *)
+
+type t = Naive | Dpor | Dpor_par
+
+let to_string = function
+  | Naive -> "naive"
+  | Dpor -> "dpor"
+  | Dpor_par -> "dpor-par"
+
+let of_string = function
+  | "naive" -> Ok Naive
+  | "dpor" -> Ok Dpor
+  | "dpor-par" -> Ok Dpor_par
+  | s -> Error (Fmt.str "unknown engine %S (naive|dpor|dpor-par)" s)
+
+let all = [ Naive; Dpor; Dpor_par ]
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let resolve_jobs = function
+  | Some j -> max 1 j
+  | None -> Frontier.default_jobs ()
+
+(** Reachability with the selected engine; [visit] fires once per
+    distinct world (hold no assumption on visit order across engines). *)
+let reachable ?(engine = Naive) ?jobs ?(max_worlds = 200_000)
+    (sys : 'w Mcsys.t) (initials : 'w list) ~(visit : 'w -> unit) : Stats.t =
+  match engine with
+  | Naive -> Naive.reachable ~max_worlds sys initials ~visit
+  | Dpor ->
+    let cfg = { Dpor.default_cfg with Dpor.max_worlds } in
+    snd (Dpor.run ~collect:false ~cfg sys initials ~on_world:visit)
+  | Dpor_par ->
+    let cfg = { Dpor.default_cfg with Dpor.max_worlds } in
+    snd
+      (Dpor.run ~jobs:(resolve_jobs jobs) ~collect:false ~cfg sys initials
+         ~on_world:visit)
+
+(** Trace enumeration with the selected engine. *)
+let traces ?(engine = Naive) ?jobs ?(max_steps = 4000)
+    ?(max_paths = 200_000) (sys : 'w Mcsys.t) (initials : 'w list) :
+    Trace.result * Stats.t =
+  match engine with
+  | Naive -> Naive.traces ~max_steps ~max_paths sys initials
+  | Dpor | Dpor_par ->
+    let cfg =
+      { Dpor.default_cfg with Dpor.max_depth = max_steps; max_paths }
+    in
+    let jobs = if engine = Dpor then 1 else resolve_jobs jobs in
+    Dpor.run ~jobs ~collect:true ~cfg sys initials ~on_world:ignore

@@ -1,0 +1,147 @@
+(** The naive bounded-exhaustive engine: breadth-first reachability and
+    depth-first trace enumeration over every interleaving. It is the
+    slowest engine and the differential-testing oracle for the reduced
+    ones — its verdicts define what the DPOR engines must reproduce.
+
+    The sequential paths are ports of the historical
+    [Cas_conc.Explore.reachable_gen]/[traces_gen] and preserve their
+    visit/enumeration order exactly. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Breadth-first reachability; [visit] is called once per distinct
+    world. With [jobs > 1] the BFS is level-synchronous and sharded: each
+    frontier level is split across the domain pool and the sharded store
+    arbitrates duplicates ([visit] is then serialized under a lock, and
+    visit *order* is not deterministic — verdicts computed from visits
+    must be order-insensitive). *)
+let reachable ?(jobs = 1) ?(max_worlds = 200_000) (sys : 'w Mcsys.t)
+    (initials : 'w list) ~(visit : 'w -> unit) : Stats.t =
+  let t0 = now_ns () in
+  let store = Store.create ~capacity:max_worlds () in
+  let transitions = Atomic.make 0 in
+  let abort = Atomic.make false in
+  let expand w =
+    (* successors of a visited world, deduplicated through the store *)
+    List.filter_map
+      (fun (tr : 'w Mcsys.trans) ->
+        Atomic.incr transitions;
+        match tr.Mcsys.target with
+        | Mcsys.Abort ->
+          Atomic.set abort true;
+          None
+        | Mcsys.Next w' ->
+          if Store.add store (sys.Mcsys.fingerprint w') = `New then Some w'
+          else None)
+      (sys.Mcsys.trans w)
+  in
+  if jobs <= 1 then begin
+    let queue = Queue.create () in
+    let push w =
+      if Store.add store (sys.Mcsys.fingerprint w) = `New then Queue.add w queue
+    in
+    List.iter push initials;
+    while not (Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      visit w;
+      List.iter (fun w' -> Queue.add w' queue) (expand w)
+    done
+  end
+  else begin
+    let vlock = Mutex.create () in
+    let frontier =
+      ref
+        (List.filter
+           (fun w -> Store.add store (sys.Mcsys.fingerprint w) = `New)
+           initials)
+    in
+    while !frontier <> [] do
+      let next =
+        Frontier.run ~jobs
+          (List.map
+             (fun chunk () ->
+               List.concat_map
+                 (fun w ->
+                   Mutex.lock vlock;
+                   Fun.protect ~finally:(fun () -> Mutex.unlock vlock)
+                     (fun () -> visit w);
+                   expand w)
+                 chunk)
+             (Frontier.split jobs !frontier))
+      in
+      frontier := List.concat next
+    done
+  end;
+  {
+    (Stats.zero ~engine:(if jobs <= 1 then "naive" else "naive-par")) with
+    Stats.worlds = Store.distinct store;
+    transitions = Atomic.get transitions;
+    store_hits = Store.hits store;
+    truncated = Store.truncated store;
+    abort_reachable = Atomic.get abort;
+    wall_ns = now_ns () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Trace enumeration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Enumerate event traces along cycle-free schedule paths (depth-first,
+    cutting when a world repeats on the current path — the continuation
+    is a divergent schedule — or when budgets are exhausted). *)
+let traces ?(max_steps = 4000) ?(max_paths = 200_000) (sys : 'w Mcsys.t)
+    (initials : 'w list) : Trace.result * Stats.t =
+  let module SSet = Set.Make (String) in
+  let t0 = now_ns () in
+  let acc = ref Trace.Set.empty in
+  let paths = ref 0 in
+  let transitions = ref 0 in
+  let abort = ref false in
+  let complete = ref true in
+  let emit tr = acc := Trace.Set.add tr !acc in
+  let rec go w on_path events budget =
+    if !paths > max_paths then complete := false
+    else if budget = 0 then begin
+      complete := false;
+      emit (List.rev events, Trace.SCut)
+    end
+    else if sys.Mcsys.all_done w then emit (List.rev events, Trace.SDone)
+    else
+      let fp = sys.Mcsys.fingerprint w in
+      if SSet.mem fp on_path then emit (List.rev events, Trace.SCut)
+      else begin
+        let succs = sys.Mcsys.trans w in
+        if succs = [] then emit (List.rev events, Trace.SCut)
+        else
+          List.iter
+            (fun (tr : 'w Mcsys.trans) ->
+              incr paths;
+              incr transitions;
+              match tr.Mcsys.target with
+              | Mcsys.Abort ->
+                abort := true;
+                emit (List.rev events, Trace.SAbort)
+              | Mcsys.Next w' ->
+                let events' =
+                  match tr.Mcsys.label with
+                  | Mcsys.Levt e -> e :: events
+                  | Mcsys.Ltau | Mcsys.Lsw -> events
+                in
+                go w' (SSet.add fp on_path) events' (budget - 1))
+            succs
+      end
+  in
+  List.iter (fun w -> go w SSet.empty [] max_steps) initials;
+  ( { Trace.traces = !acc; complete = !complete },
+    {
+      (Stats.zero ~engine:"naive") with
+      Stats.worlds = 0;
+      transitions = !transitions;
+      truncated = not !complete;
+      abort_reachable = !abort;
+      wall_ns = now_ns () -. t0;
+    } )

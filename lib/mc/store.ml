@@ -1,0 +1,62 @@
+(** Canonical state store: a sharded hash table keyed by world
+    fingerprint, with hit/miss/truncation accounting.
+
+    Sharding serves the parallel frontier scheduler: each shard carries
+    its own lock, so domains insert concurrently with contention only on
+    colliding shards. The global capacity is enforced with an atomic
+    counter — the cap is approximate under parallel insertion by at most
+    the number of racing domains, which only affects where truncation is
+    reported, never soundness (truncated results are flagged). *)
+
+type shard = { lock : Mutex.t; tbl : (string, unit) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  capacity : int;
+  count : int Atomic.t;  (** distinct keys inserted (misses) *)
+  hits : int Atomic.t;  (** keys re-encountered *)
+  full : bool Atomic.t;  (** an insertion was refused *)
+}
+
+let create ?(shards = 16) ~capacity () =
+  {
+    shards =
+      Array.init (max 1 shards) (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 256 });
+    capacity;
+    count = Atomic.make 0;
+    hits = Atomic.make 0;
+    full = Atomic.make false;
+  }
+
+(** Insert a fingerprint. [`New]: first time seen; [`Seen]: already
+    present (a hit); [`Full]: refused, the store reached capacity. *)
+let add t key : [ `New | `Seen | `Full ] =
+  let shard = t.shards.(Hashtbl.hash key mod Array.length t.shards) in
+  Mutex.lock shard.lock;
+  let r =
+    if Hashtbl.mem shard.tbl key then `Seen
+    else if Atomic.get t.count >= t.capacity then `Full
+    else begin
+      Hashtbl.add shard.tbl key ();
+      Atomic.incr t.count;
+      `New
+    end
+  in
+  Mutex.unlock shard.lock;
+  (match r with
+  | `Seen -> Atomic.incr t.hits
+  | `Full -> Atomic.set t.full true
+  | `New -> ());
+  r
+
+let mem t key =
+  let shard = t.shards.(Hashtbl.hash key mod Array.length t.shards) in
+  Mutex.lock shard.lock;
+  let r = Hashtbl.mem shard.tbl key in
+  Mutex.unlock shard.lock;
+  r
+
+let distinct t = Atomic.get t.count
+let hits t = Atomic.get t.hits
+let truncated t = Atomic.get t.full

@@ -1,0 +1,49 @@
+(** Event traces and bounded trace sets (§3.2), shared by every engine.
+    Formerly private to [Cas_conc.Explore]; lifted here so the engines can
+    produce them for any instantiating semantics (interleaving worlds,
+    x86-TSO worlds). *)
+
+open Cas_base
+
+(** Termination status of an enumerated execution: [SDone] — all threads
+    finished; [SAbort] — some thread aborted; [SCut] — the execution was
+    cut at a cycle or at a budget (a divergent or unfinished schedule). *)
+type status = SDone | SAbort | SCut
+
+type t = Event.t list * status
+
+let pp_status ppf = function
+  | SDone -> Fmt.string ppf "done"
+  | SAbort -> Fmt.string ppf "abort"
+  | SCut -> Fmt.string ppf "..."
+
+let pp ppf (es, st) =
+  Fmt.pf ppf "[%a]%a" Fmt.(list ~sep:comma Event.pp) es pp_status st
+
+let key (es, st) =
+  String.concat ","
+    (List.map Event.to_string es
+    @ [ (match st with SDone -> "$D" | SAbort -> "$A" | SCut -> "$C") ])
+
+module Set = struct
+  module M = Map.Make (String)
+
+  type nonrec t = t M.t
+
+  let empty : t = M.empty
+  let add tr s = M.add (key tr) tr s
+  let mem tr s = M.mem (key tr) s
+  let elements (s : t) = List.map snd (M.bindings s)
+  let cardinal = M.cardinal
+  let union a b = M.union (fun _ x _ -> Some x) a b
+  let subset a b = M.for_all (fun k _ -> M.mem k b) a
+  let equal a b = subset a b && subset b a
+  let filter f (s : t) = M.filter (fun _ tr -> f tr) s
+  let pp ppf s = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) (elements s)
+end
+
+type result = {
+  traces : Set.t;
+  complete : bool;
+      (** false if a path/step budget was exhausted anywhere *)
+}

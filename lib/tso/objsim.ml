@@ -34,10 +34,12 @@ let pp_guarantee ppf r =
 
 (** [check_drf_guarantee ~clients ~pi ~gamma ~entries]: the program
     Π^tso = clients + π under x86-TSO refines Π^sc = clients + γ under SC
-    (clients are x86 modules, γ is a CImp module). *)
-let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000)
-    ~(clients : Asm.program list) ~(pi : Asm.program) ~(gamma : Cimp.program)
-    ~(entries : string list) () : guarantee_report =
+    (clients are x86 modules, γ is a CImp module). [engine] selects the
+    exploration engine on both sides (comparing completed traces and
+    abort reachability, which every engine preserves). *)
+let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000) ?engine
+    ?jobs ~(clients : Asm.program list) ~(pi : Asm.program)
+    ~(gamma : Cimp.program) ~(entries : string list) () : guarantee_report =
   let fail detail =
     {
       holds = false;
@@ -58,10 +60,9 @@ let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000)
     match World.load sc_prog ~args:[] with
     | Error e -> fail (Fmt.str "SC load: %a" World.pp_load_error e)
     | Ok w_sc ->
-      let t_tso = Tso.traces ~max_steps ~max_paths w_tso in
+      let t_tso = Tso.traces ?engine ?jobs ~max_steps ~max_paths w_tso in
       let t_sc =
-        Explore.traces ~max_steps ~max_paths Preemptive.steps
-          (Gsem.initials w_sc)
+        fst (Engine.traces ?engine ?jobs ~max_steps ~max_paths w_sc)
       in
       let r = Refine.refines ~lhs:t_tso ~rhs:t_sc in
       {

@@ -73,9 +73,10 @@ let live_tids w =
 
 let all_done w = IMap.for_all (fun _ t -> thread_done t) w.threads
 
-let fingerprint w =
+(** Fingerprint without the scheduler choice [cur]: the state key of the
+    thread-selection view explored by the DPOR engines ([mc_system]). *)
+let fingerprint_nocur w =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (string_of_int w.cur);
   IMap.iter
     (fun tid t ->
       Buffer.add_string buf (string_of_int tid);
@@ -97,6 +98,8 @@ let fingerprint w =
     w.threads;
   Buffer.add_string buf (Memory.fingerprint w.mem);
   Buffer.contents buf
+
+let fingerprint w = string_of_int w.cur ^ fingerprint_nocur w
 
 (* ------------------------------------------------------------------ *)
 (* TSO-visible memory                                                  *)
@@ -141,24 +144,39 @@ let pop_frame w (t : thread) (v : Value.t) : world option =
 let resolve_call w f args =
   List.find_map (fun p -> Asm.init_core ~genv:w.genv p ~entry:f ~args) w.modules
 
-(** One instruction of thread [tid] under TSO. *)
-let local_steps (w : world) (tid : int) : succ list =
+(** One instruction of thread [tid] under TSO, with the footprint of the
+    step. Buffered stores carry the write footprint of their address even
+    though memory is only touched at drain time: ordering the buffering
+    against other threads' accesses over-approximates dependence, which
+    is the sound direction for the DPOR engines (loads through the own
+    buffer likewise keep their read footprint). *)
+let local_trans (w : world) (tid : int) : world Cas_mc.Mcsys.trans list =
+  let abort =
+    {
+      Cas_mc.Mcsys.tid;
+      label = Cas_mc.Mcsys.Ltau;
+      fp = Footprint.empty;
+      target = Cas_mc.Mcsys.Abort;
+    }
+  in
+  let next ?(fp = Footprint.empty) ?(label = Cas_mc.Mcsys.Ltau) w' =
+    { Cas_mc.Mcsys.tid; label; fp; target = Cas_mc.Mcsys.Next w' }
+  in
   match IMap.find_opt tid w.threads with
   | None -> []
   | Some t -> (
     match t.stack with
     | [] -> []
     | (c : Asm.core) :: _ ->
-      let gtau w' = Cas_conc.Explore.GNext (Cas_conc.World.Gtau, w') in
       if c.Asm.waiting <> None then []
       else if c.Asm.need_frame then
         (* frame allocation: direct, private *)
         (match Asm.step t.flist c w.mem with
-        | [ Lang.Next (Msg.Tau, _, c', m') ] ->
-          [ gtau (set_top { w with mem = m' } t c') ]
-        | _ -> [ Cas_conc.Explore.GAbort ])
+        | [ Lang.Next (Msg.Tau, fp, c', m') ] ->
+          [ next ~fp (set_top { w with mem = m' } t c') ]
+        | _ -> [ abort ])
       else if c.Asm.pc < 0 || c.Asm.pc >= Array.length c.Asm.code then
-        [ Cas_conc.Explore.GAbort ]
+        [ abort ]
       else
         let perm = Asm.data_perm c in
         let advance ?(regs = c.Asm.regs) ?(flags = c.Asm.flags) () =
@@ -171,21 +189,27 @@ let local_steps (w : world) (tid : int) : succ list =
           match Asm.addr_plus (Asm.reg_val c d) ofs with
           | Some a -> (
             match Memory.load ~perm w.mem a with
-            | Error (Memory.Unmapped _) -> [ Cas_conc.Explore.GAbort ]
-            | Error (Memory.Out_of_bounds _) -> [ Cas_conc.Explore.GAbort ]
-            | Error (Memory.Perm_mismatch _) -> [ Cas_conc.Explore.GAbort ]
+            | Error (Memory.Unmapped _) -> [ abort ]
+            | Error (Memory.Out_of_bounds _) -> [ abort ]
+            | Error (Memory.Perm_mismatch _) -> [ abort ]
             | Ok _ ->
               let t' = { t with buf = t.buf @ [ (a, Asm.reg_val c s) ] } in
-              [ gtau (set_top (set_thread w t') t' (advance ())) ])
-          | None -> [ Cas_conc.Explore.GAbort ])
+              [
+                next ~fp:(Footprint.write1 a)
+                  (set_top (set_thread w t') t' (advance ()));
+              ])
+          | None -> [ abort ])
         | Asm.Pload (d, s, ofs) -> (
           match Asm.addr_plus (Asm.reg_val c s) ofs with
           | Some a -> (
             match read_buffered t.buf w.mem ~perm a with
             | Ok v ->
-              [ gtau (set_top w t (advance ~regs:(Mreg.Map.add d v c.Asm.regs) ())) ]
-            | Error _ -> [ Cas_conc.Explore.GAbort ])
-          | None -> [ Cas_conc.Explore.GAbort ])
+              [
+                next ~fp:(Footprint.read1 a)
+                  (set_top w t (advance ~regs:(Mreg.Map.add d v c.Asm.regs) ()));
+              ]
+            | Error _ -> [ abort ])
+          | None -> [ abort ])
         | Asm.Plock_cmpxchg (ra, rs) -> (
           (* locked instruction: fence semantics — buffer must be empty *)
           if t.buf <> [] then []
@@ -193,70 +217,96 @@ let local_steps (w : world) (tid : int) : succ list =
             match Asm.reg_val c ra with
             | Value.Vptr a -> (
               match Memory.load ~perm w.mem a with
-              | Error _ -> [ Cas_conc.Explore.GAbort ]
+              | Error _ -> [ abort ]
               | Ok old ->
+                let fp =
+                  Footprint.union (Footprint.read1 a) (Footprint.write1 a)
+                in
                 let ax = Asm.reg_val c Mreg.AX in
                 let flags = Some (ax, old) in
                 if Value.equal ax old then (
                   match Memory.store ~perm w.mem a (Asm.reg_val c rs) with
-                  | Ok m' -> [ gtau (set_top { w with mem = m' } t (advance ~flags ())) ]
-                  | Error _ -> [ Cas_conc.Explore.GAbort ])
+                  | Ok m' ->
+                    [ next ~fp (set_top { w with mem = m' } t (advance ~flags ())) ]
+                  | Error _ -> [ abort ])
                 else
-                  [ gtau
+                  [
+                    next ~fp
                       (set_top w t
                          (advance ~flags
                             ~regs:(Mreg.Map.add Mreg.AX old c.Asm.regs)
-                            ())) ])
-            | _ -> [ Cas_conc.Explore.GAbort ])
-        | Asm.Pmfence -> if t.buf <> [] then [] else [ gtau (set_top w t (advance ())) ]
+                            ()));
+                  ])
+            | _ -> [ abort ])
+        | Asm.Pmfence ->
+          if t.buf <> [] then [] else [ next (set_top w t (advance ())) ]
         | _ -> (
           (* all other instructions do not touch shared memory: delegate
              to the SC interpreter *)
           match Asm.step t.flist c w.mem with
-          | [] | [ Lang.Stuck_abort ] -> [ Cas_conc.Explore.GAbort ]
-          | [ Lang.Next (msg, _, c', m') ] -> (
+          | [] | [ Lang.Stuck_abort ] -> [ abort ]
+          | [ Lang.Next (msg, fp, c', m') ] -> (
             let w = { w with mem = m' } in
             match msg with
-            | Msg.Tau -> [ gtau (set_top w t c') ]
+            | Msg.Tau -> [ next ~fp (set_top w t c') ]
             | Msg.EntAtom | Msg.ExtAtom ->
               (* only lock-prefixed instructions generate these under the
                  SC interpreter; they are handled above *)
-              [ Cas_conc.Explore.GAbort ]
-            | Msg.Evt e -> [ Cas_conc.Explore.GNext (Cas_conc.World.Gevt e, set_top w t c') ]
+              [ abort ]
+            | Msg.Evt e ->
+              [ next ~fp ~label:(Cas_mc.Mcsys.Levt e) (set_top w t c') ]
             | Msg.Ret v -> (
               let w' = set_top w t c' in
               let t' = IMap.find tid w'.threads in
               match pop_frame w' t' v with
-              | Some w'' -> [ gtau w'' ]
-              | None -> [ Cas_conc.Explore.GAbort ])
+              | Some w'' -> [ next ~fp w'' ]
+              | None -> [ abort ])
             | Msg.Call ("print", [ Value.Vint n ]) -> (
               match Asm.after_external c' None with
               | Some c'' ->
-                [ Cas_conc.Explore.GNext
-                    (Cas_conc.World.Gevt (Event.Print n), set_top w t c'') ]
-              | None -> [ Cas_conc.Explore.GAbort ])
+                [
+                  next ~fp
+                    ~label:(Cas_mc.Mcsys.Levt (Event.Print n))
+                    (set_top w t c'');
+                ]
+              | None -> [ abort ])
             | Msg.TailCall ("print", [ Value.Vint n ]) -> (
               let w' = set_top w t c' in
               let t' = IMap.find tid w'.threads in
               match pop_frame w' t' (Value.Vint 0) with
               | Some w'' ->
-                [ Cas_conc.Explore.GNext
-                    (Cas_conc.World.Gevt (Event.Print n), w'') ]
-              | None -> [ Cas_conc.Explore.GAbort ])
+                [ next ~fp ~label:(Cas_mc.Mcsys.Levt (Event.Print n)) w'' ]
+              | None -> [ abort ])
             | Msg.Call (f, args) -> (
               match resolve_call w f args with
               | Some callee ->
                 let w' = set_top w t c' in
                 let t' = IMap.find tid w'.threads in
-                [ gtau (set_thread w' { t' with stack = callee :: t'.stack }) ]
-              | None -> [ Cas_conc.Explore.GAbort ])
+                [ next ~fp (set_thread w' { t' with stack = callee :: t'.stack }) ]
+              | None -> [ abort ])
             | Msg.TailCall (f, args) -> (
               match resolve_call w f args with
               | Some callee ->
                 let rest = match t.stack with [] -> [] | _ :: r -> r in
-                [ gtau (set_thread w { t with stack = callee :: rest }) ]
-              | None -> [ Cas_conc.Explore.GAbort ]))
-          | _ -> [ Cas_conc.Explore.GAbort ]))
+                [ next ~fp (set_thread w { t with stack = callee :: rest }) ]
+              | None -> [ abort ]))
+          | _ -> [ abort ]))
+
+(** The footprint-erased view of [local_trans], for the historical
+    successor-function interface. *)
+let local_steps (w : world) (tid : int) : succ list =
+  List.map
+    (fun (tr : world Cas_mc.Mcsys.trans) ->
+      match tr.Cas_mc.Mcsys.target with
+      | Cas_mc.Mcsys.Abort -> Cas_conc.Explore.GAbort
+      | Cas_mc.Mcsys.Next w' ->
+        let g =
+          match tr.Cas_mc.Mcsys.label with
+          | Cas_mc.Mcsys.Levt e -> Cas_conc.World.Gevt e
+          | Cas_mc.Mcsys.Ltau | Cas_mc.Mcsys.Lsw -> Cas_conc.World.Gtau
+        in
+        Cas_conc.Explore.GNext (g, w'))
+    (local_trans w tid)
 
 (** Commit the oldest buffered write of thread [tid] to memory. *)
 let unbuffer (w : world) (tid : int) : world option =
@@ -293,10 +343,83 @@ let steps (w : world) : succ list =
 let system : world Cas_conc.Explore.system =
   { fingerprint; all_done; steps }
 
+(** The TSO machine as a footprint-instrumented selection system for the
+    DPOR engines: a transition is "thread [t] executes one instruction"
+    or "thread [t]'s oldest buffered write drains" (drains belong to the
+    buffer's owner and carry the write footprint of the drained address,
+    so cross-thread flushes order correctly against loads and stores).
+    Explicit switch transitions disappear; [cur] is cosmetic and excluded
+    from the state key. *)
+let mc_system : world Cas_mc.Mcsys.t =
+  {
+    Cas_mc.Mcsys.fingerprint = fingerprint_nocur;
+    all_done;
+    trans =
+      (fun w ->
+        let locals =
+          List.concat_map
+            (fun tid ->
+              List.map
+                (fun (tr : world Cas_mc.Mcsys.trans) ->
+                  match tr.Cas_mc.Mcsys.target with
+                  | Cas_mc.Mcsys.Next w' ->
+                    { tr with Cas_mc.Mcsys.target = Cas_mc.Mcsys.Next { w' with cur = tid } }
+                  | Cas_mc.Mcsys.Abort -> tr)
+                (local_trans w tid))
+            (live_tids w)
+        in
+        let drains =
+          IMap.fold
+            (fun tid (t : thread) acc ->
+              match t.buf with
+              | [] -> acc
+              | (a, _) :: _ -> (
+                match unbuffer w tid with
+                | Some w' ->
+                  {
+                    Cas_mc.Mcsys.tid;
+                    label = Cas_mc.Mcsys.Ltau;
+                    fp = Footprint.write1 a;
+                    target = Cas_mc.Mcsys.Next w';
+                  }
+                  :: acc
+                | None -> acc))
+            w.threads []
+        in
+        locals @ drains);
+  }
+
 let initials (w : world) : world list =
   match live_tids w with
   | [] -> [ w ]
   | ts -> List.map (fun t -> { w with cur = t }) ts
 
-let traces ?max_steps ?max_paths (w : world) : Cas_conc.Explore.trace_result =
-  Cas_conc.Explore.traces_gen ?max_steps ?max_paths system (initials w)
+(** Trace enumeration with a selectable engine. [Naive] (the default)
+    enumerates the historical scheduler-explicit graph; the DPOR engines
+    reduce the selection view, which preserves completed traces and abort
+    reachability but may cut cycles at different points (so [SCut]
+    entries are only comparable between engines on the same view). *)
+let mc_traces ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_steps ?max_paths
+    (w : world) : Cas_conc.Explore.trace_result * Cas_mc.Stats.t =
+  match engine with
+  | Cas_mc.Engine.Naive ->
+    Cas_mc.Engine.traces ?max_steps ?max_paths
+      (Cas_conc.Explore.to_mc system)
+      (initials w)
+  | Cas_mc.Engine.Dpor | Cas_mc.Engine.Dpor_par ->
+    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths mc_system [ w ]
+
+let traces ?engine ?jobs ?max_steps ?max_paths (w : world) :
+    Cas_conc.Explore.trace_result =
+  fst (mc_traces ?engine ?jobs ?max_steps ?max_paths w)
+
+(** Engine-selected reachability over the TSO machine. *)
+let explore ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_worlds (w : world)
+    ~(visit : world -> unit) : Cas_mc.Stats.t =
+  match engine with
+  | Cas_mc.Engine.Naive ->
+    Cas_mc.Engine.reachable ?jobs ?max_worlds
+      (Cas_conc.Explore.to_mc system)
+      (initials w) ~visit
+  | Cas_mc.Engine.Dpor | Cas_mc.Engine.Dpor_par ->
+    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds mc_system [ w ] ~visit

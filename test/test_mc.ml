@@ -1,0 +1,361 @@
+(** Differential tests for the [Cas_mc] exploration engines.
+
+    The naive engine is the oracle: it exhaustively enumerates the
+    scheduler-explicit preemptive graph exactly as earlier revisions did.
+    The DPOR engines must agree with it on every engine-invariant
+    observable — DRF verdicts, abort reachability, and the sets of
+    completed/aborted event traces — while exploring strictly fewer
+    worlds. [SCut] entries are compared only between runs of the *same*
+    transition system: a cycle cut records the events seen up to the
+    cut, and the naive scheduler-explicit view and the DPOR selection
+    view cut cyclic executions at different granularities. *)
+
+open Cas_base
+open Cas_langs
+open Cas_conc
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let load p =
+  match World.load p ~args:[] with
+  | Error e -> Alcotest.failf "load: %a" World.pp_load_error e
+  | Ok w -> w
+
+let engines = [ Engine.Naive; Engine.Dpor; Engine.Dpor_par ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prints_prog n =
+  Lang.prog
+    [
+      Lang.Mod
+        (Clight.lang, Parse.clight {| void f() { print(1); print(2); } |});
+    ]
+    (List.init n (fun _ -> "f"))
+
+let producer_consumer_prog () =
+  Lang.prog
+    [
+      Lang.Mod (Clight.lang, Corpus.producer_consumer ());
+      Lang.Mod (Cimp.lang, Corpus.gamma_lock ());
+    ]
+    [ "producer"; "consumer" ]
+
+let lock_counter_3_prog () =
+  Lang.prog
+    [
+      Lang.Mod (Clight.lang, Corpus.counter ());
+      Lang.Mod (Cimp.lang, Corpus.gamma_lock ());
+    ]
+    [ "inc"; "inc"; "inc" ]
+
+(* unlock() on a free lock aborts (Fig. 10(a) asserts L == 1), so abort
+   reachability is exercised on a program where it is actually reachable *)
+let double_unlock_prog () =
+  Lang.prog
+    [ Lang.Mod (Cimp.lang, Corpus.gamma_lock ()) ]
+    [ "unlock"; "unlock" ]
+
+let drf_corpus () =
+  [
+    ("lock-counter", Corpus.lock_counter_prog ());
+    ("racy", Corpus.racy_prog ());
+    ("observer", Corpus.observer_prog ());
+    ("producer-consumer", producer_consumer_prog ());
+    ("prints-2", prints_prog 2);
+    ("double-unlock", double_unlock_prog ());
+  ]
+
+let trace_corpus () =
+  [
+    ("lock-counter", Corpus.lock_counter_prog ());
+    ("racy", Corpus.racy_prog ());
+    ("observer", Corpus.observer_prog ());
+    ("prints-2", prints_prog 2);
+    ("double-unlock", double_unlock_prog ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store unit tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_accounting () =
+  let s = Cas_mc.Store.create ~shards:4 ~capacity:3 () in
+  check tbool "a is new" true (Cas_mc.Store.add s "a" = `New);
+  check tbool "a again is seen" true (Cas_mc.Store.add s "a" = `Seen);
+  check tbool "b is new" true (Cas_mc.Store.add s "b" = `New);
+  check tbool "c is new" true (Cas_mc.Store.add s "c" = `New);
+  check tbool "d hits capacity" true (Cas_mc.Store.add s "d" = `Full);
+  check tbool "a still seen at capacity" true (Cas_mc.Store.add s "a" = `Seen);
+  check tint "distinct" 3 (Cas_mc.Store.distinct s);
+  check tint "hits" 2 (Cas_mc.Store.hits s);
+  check tbool "truncated" true (Cas_mc.Store.truncated s);
+  check tbool "mem a" true (Cas_mc.Store.mem s "a");
+  check tbool "not mem d" false (Cas_mc.Store.mem s "d")
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      check tbool
+        (Fmt.str "%s roundtrips" (Engine.to_string e))
+        true
+        (Engine.of_string (Engine.to_string e) = Ok e))
+    Engine.all;
+  check tbool "unknown engine rejected" true
+    (Result.is_error (Engine.of_string "bfs"))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: DRF verdicts                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_drf_verdicts_agree () =
+  List.iter
+    (fun (name, p) ->
+      let w = load p in
+      let verdicts =
+        List.map (fun e -> (Race.drf ~engine:e ~jobs:2 w).Race.drf) engines
+      in
+      match verdicts with
+      | [ naive; dpor; dpor_par ] ->
+        check tbool (Fmt.str "%s: dpor agrees with naive" name) naive dpor;
+        check tbool
+          (Fmt.str "%s: dpor-par agrees with naive" name)
+          naive dpor_par
+      | _ -> assert false)
+    (drf_corpus ())
+
+(* ------------------------------------------------------------------ *)
+(* Differential: trace sets and abort reachability                     *)
+(* ------------------------------------------------------------------ *)
+
+let completed (r : Explore.trace_result) =
+  Explore.TraceSet.filter (fun (_, st) -> st <> Explore.SCut) r.Explore.traces
+
+let has_abort (r : Explore.trace_result) =
+  Explore.TraceSet.elements r.Explore.traces
+  |> List.exists (fun (_, st) -> st = Explore.SAbort)
+
+(* The naive oracle enumerates *paths* of the scheduler-explicit graph,
+   so its budget can truncate where DPOR completes (every switch
+   placement multiplies the path count; a spin lock alone exhausts it).
+   Every completed naive trace is a real execution, hence always a
+   subset of DPOR's set; equality is asserted whenever the oracle
+   finished. On this corpus the DPOR engines must always finish. *)
+let test_trace_sets_agree () =
+  List.iter
+    (fun (name, p) ->
+      let w = load p in
+      let naive = fst (Engine.traces ~engine:Engine.Naive w) in
+      let dpor = fst (Engine.traces ~engine:Engine.Dpor w) in
+      let dpor_par = fst (Engine.traces ~engine:Engine.Dpor_par ~jobs:2 w) in
+      check tbool
+        (Fmt.str "%s: dpor completes" name)
+        true
+        (dpor.Explore.complete && dpor_par.Explore.complete);
+      check tbool
+        (Fmt.str "%s: dpor-par done+abort traces = dpor" name)
+        true
+        (Explore.TraceSet.equal (completed dpor) (completed dpor_par));
+      check tbool
+        (Fmt.str "%s: naive done+abort traces within dpor's" name)
+        true
+        (Explore.TraceSet.subset (completed naive) (completed dpor));
+      if naive.Explore.complete then begin
+        check tbool
+          (Fmt.str "%s: dpor done+abort traces = naive" name)
+          true
+          (Explore.TraceSet.equal (completed naive) (completed dpor));
+        check tbool
+          (Fmt.str "%s: abort reachability agrees" name)
+          (has_abort naive) (has_abort dpor)
+      end)
+    (trace_corpus ())
+
+let test_double_unlock_aborts () =
+  let w = load (double_unlock_prog ()) in
+  List.iter
+    (fun e ->
+      let r, st = Engine.traces ~engine:e w in
+      check tbool
+        (Fmt.str "[%s] abort trace found" (Engine.to_string e))
+        true (has_abort r);
+      check tbool
+        (Fmt.str "[%s] stats flag abort" (Engine.to_string e))
+        true st.Cas_mc.Stats.abort_reachable)
+    engines
+
+(* Within one transition system the DPOR trace set must equal the full
+   naive enumeration *including* SCut entries; run the naive engine on
+   the same selection view DPOR explores (acyclic programs, so SCut can
+   only come from budgets, which these programs never hit). *)
+let test_full_sets_on_selection_view () =
+  List.iter
+    (fun (name, p) ->
+      let w = load p in
+      let naive_sel, _ =
+        Cas_mc.Engine.traces Engine.selection_system [ w ]
+      in
+      let dpor, _ = Cas_mc.Engine.traces ~engine:Cas_mc.Engine.Dpor
+          Engine.selection_system [ w ]
+      in
+      check tbool
+        (Fmt.str "%s: full trace sets equal on the selection view" name)
+        true
+        (Explore.TraceSet.equal naive_sel.Explore.traces dpor.Explore.traces))
+    [
+      ("racy", Corpus.racy_prog ());
+      ("prints-2", prints_prog 2);
+      ("observer", Corpus.observer_prog ());
+    ]
+
+let test_jobs_insensitive () =
+  let w = load (Corpus.lock_counter_prog ()) in
+  let base = fst (Engine.traces ~engine:Engine.Dpor w) in
+  List.iter
+    (fun jobs ->
+      let r = fst (Engine.traces ~engine:Engine.Dpor_par ~jobs w) in
+      check tbool
+        (Fmt.str "jobs=%d traces = sequential dpor" jobs)
+        true
+        (Explore.TraceSet.equal base.Explore.traces r.Explore.traces))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Reduction: the acceptance criterion                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dpor_reduction () =
+  let corpus =
+    [
+      ("lock-counter", Corpus.lock_counter_prog (), true);
+      ("lock-counter-3", lock_counter_3_prog (), true);
+      ("producer-consumer", producer_consumer_prog (), true);
+      ("prints-2", prints_prog 2, false);
+      ("prints-3", prints_prog 3, true);
+    ]
+  in
+  let total_naive = ref 0 and total_dpor = ref 0 in
+  List.iter
+    (fun (name, p, expect_5x) ->
+      let w = load p in
+      let worlds e =
+        (Engine.explore ~engine:e w ~visit:(fun _ -> ())).Cas_mc.Stats.worlds
+      in
+      let n = worlds Engine.Naive and d = worlds Engine.Dpor in
+      total_naive := !total_naive + n;
+      total_dpor := !total_dpor + d;
+      check tbool (Fmt.str "%s: dpor explores fewer worlds" name) true (d < n);
+      (* prints-2 is exempt: its observable prints are mutually
+         dependent by construction, so DPOR can only prune ~3x there *)
+      if expect_5x then
+        check tbool (Fmt.str "%s: >=5x fewer worlds" name) true (5 * d <= n))
+    corpus;
+  check tbool "corpus aggregate >=5x reduction" true
+    (5 * !total_dpor <= !total_naive)
+
+(* ------------------------------------------------------------------ *)
+(* Random concurrent programs: engines always agree                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two threads of tiny straight-line code over two shared globals, with
+   observable prints: small enough for the naive oracle, shaped so both
+   racy and race-free (disjoint-variable) schedules are generated. *)
+
+open QCheck.Gen
+
+let gen_expr = oneof [ map (fun c -> Clight.Econst c) (int_range 0 5);
+                       map (fun g -> Clight.Eglob g) (oneofl [ "g0"; "g1" ]) ]
+
+let gen_stmt =
+  oneof
+    [
+      map2
+        (fun g e -> Clight.Sassign (Clight.Lglob g, e))
+        (oneofl [ "g0"; "g1" ])
+        gen_expr;
+      map (fun e -> Clight.Scall (None, "print", [ e ])) gen_expr;
+    ]
+
+let gen_body =
+  let* n = int_range 1 3 in
+  let* stmts = list_repeat n gen_stmt in
+  return
+    (List.fold_right (fun s acc -> Clight.Sseq (s, acc)) stmts Clight.Sskip)
+
+let gen_threads : Clight.program QCheck.Gen.t =
+  let* b1 = gen_body in
+  let* b2 = gen_body in
+  let func name body =
+    { Clight.fname = name; fparams = []; fvars = []; fbody = body }
+  in
+  return
+    {
+      Clight.globals =
+        [ Genv.gvar ~init:[ Genv.Iint 0 ] "g0" 1;
+          Genv.gvar ~init:[ Genv.Iint 0 ] "g1" 1 ];
+      funcs = [ func "t0" b1; func "t1" b2 ];
+    }
+
+let print_threads (p : Clight.program) =
+  Fmt.str "%a"
+    Fmt.(
+      list ~sep:cut (fun ppf f ->
+          Fmt.pf ppf "%s() { %a }" f.Clight.fname Clight.pp_stmt f.Clight.fbody))
+    p.Clight.funcs
+
+let arb_threads = QCheck.make ~print:print_threads gen_threads
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"engines agree on random 2-thread programs"
+    ~count:100 arb_threads (fun p ->
+      let prog = Lang.prog [ Lang.Mod (Clight.lang, p) ] [ "t0"; "t1" ] in
+      match World.load prog ~args:[] with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok w ->
+        let drf e = (Race.drf ~engine:e ~jobs:2 w).Race.drf in
+        let traces e = fst (Engine.traces ~engine:e ~jobs:2 w) in
+        let n = traces Engine.Naive in
+        let d = traces Engine.Dpor in
+        let dp = traces Engine.Dpor_par in
+        (* DRF verdicts are world-based, immune to the oracle's path
+           budget; trace sets are compared as in [test_trace_sets_agree]:
+           the bounded oracle under-approximates, so subset always,
+           equality when it completed. *)
+        drf Engine.Naive = drf Engine.Dpor
+        && drf Engine.Naive = drf Engine.Dpor_par
+        && d.Explore.complete && dp.Explore.complete
+        && Explore.TraceSet.equal (completed d) (completed dp)
+        && Explore.TraceSet.subset (completed n) (completed d)
+        && (not n.Explore.complete
+           || Explore.TraceSet.equal (completed n) (completed d)
+              && has_abort n = has_abort d))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "store accounting" `Quick test_store_accounting;
+          Alcotest.test_case "engine names" `Quick test_engine_names;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "DRF verdicts agree" `Slow test_drf_verdicts_agree;
+          Alcotest.test_case "trace sets agree" `Slow test_trace_sets_agree;
+          Alcotest.test_case "double unlock aborts" `Quick
+            test_double_unlock_aborts;
+          Alcotest.test_case "full sets on selection view" `Quick
+            test_full_sets_on_selection_view;
+          Alcotest.test_case "jobs-insensitive" `Quick test_jobs_insensitive;
+        ] );
+      ( "reduction",
+        [ Alcotest.test_case "dpor >=5x on corpus" `Slow test_dpor_reduction ] );
+      ( "random",
+        [ QCheck_alcotest.to_alcotest prop_engines_agree ] );
+    ]
