@@ -35,6 +35,10 @@ module Corpus = Bench_corpus
 let json_benchmarks : (string * int * float) list ref = ref []
 let json_worlds : (string * string * int) list ref = ref []
 
+(* per-pass rows of the compile section: (pass, cold ns, warm-run cache
+   hits, warm-run cache misses) *)
+let json_compile : (string * float * int * int) list ref = ref []
+
 let record_worlds ~program ~engine worlds =
   json_worlds := (program, engine, worlds) :: !json_worlds
 
@@ -69,6 +73,16 @@ let write_json path =
       pr "    {\"program\": \"%s\", \"engine\": \"%s\", \"worlds\": %d}"
         (json_escape program) (json_escape engine) worlds)
     (List.rev !json_worlds);
+  pr "\n  ],\n  \"compile\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (pass, ns, hits, misses) ->
+      sep first;
+      pr
+        "    {\"pass\": \"%s\", \"ns_per_unit\": %.2f, \"cache_hits\": %d, \
+         \"cache_misses\": %d}"
+        (json_escape pass) ns hits misses)
+    (List.rev !json_compile);
   pr "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "@.json results written to %s@." path
@@ -469,22 +483,109 @@ let fig13 () =
      suite)@."
 
 (* ------------------------------------------------------------------ *)
+(* compile: pass manager, certificate cache, parallel unit builds       *)
+(* ------------------------------------------------------------------ *)
+
+let compile_section () =
+  Fmt.pr "@.=== COMPILE — pass manager & certificate cache ===@.";
+  let open Cas_compiler in
+  let units = List.map (fun (_, c, _) -> c) (Corpus.sequential_clients ()) in
+  let n_units = List.length units in
+  (* cold: no cache, per-pass wall-clock straight from the instrumented
+     driver *)
+  let per_pass : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let cold = Driver.compile_all ~cache:false units in
+  List.iter
+    (fun (c : Driver.compiled) ->
+      List.iter
+        (fun st ->
+          let t =
+            Option.value ~default:0.
+              (Hashtbl.find_opt per_pass st.Driver.st_pass)
+          in
+          Hashtbl.replace per_pass st.Driver.st_pass
+            (t +. st.Driver.st_wall_ns))
+        c.Driver.c_stats)
+    cold;
+  (* warm: prime the cache, recompile, read the hit/miss counters *)
+  Cache.reset_stats ();
+  ignore (Driver.compile_all ~cache:true units);
+  ignore (Driver.compile_all ~cache:true units);
+  let stats_by_pass =
+    List.map
+      (fun (s : Cache.stats) -> (s.Cache.name, s))
+      (Driver.cache_stats ())
+  in
+  Fmt.pr "%-16s %12s %6s %7s   (%d units, warm pass = 2nd compile)@." "pass"
+    "cold/unit" "hits" "misses" n_units;
+  List.iter
+    (fun pass ->
+      let cold_ns =
+        Option.value ~default:0. (Hashtbl.find_opt per_pass pass)
+        /. float_of_int (max 1 n_units)
+      in
+      let hits, misses =
+        match List.assoc_opt pass stats_by_pass with
+        | Some s -> (s.Cache.hits, s.Cache.misses)
+        | None -> (0, 0)
+      in
+      json_compile := (pass, cold_ns, hits, misses) :: !json_compile;
+      Fmt.pr "  %-16s %a %6d %7d@." pass pp_ns cold_ns hits misses)
+    Driver.pass_names;
+  (* parallel per-module builds: wall-clock for the whole corpus *)
+  print_timings "whole-corpus build (uncached)"
+    (run_group ~name:"compile"
+       [
+         Test.make ~name:"jobs-1"
+           (staged (fun () -> Driver.compile_all ~cache:false ~jobs:1 units));
+         (let jobs = max 2 (Cas_base.Pool.default_jobs ()) in
+          Test.make ~name:(Fmt.str "jobs-%d" jobs)
+            (staged (fun () -> Driver.compile_all ~cache:false ~jobs units)));
+         Test.make ~name:"warm-cache"
+           (staged (fun () -> Driver.compile_all ~cache:true units));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let argv = Array.to_list Sys.argv in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
       | _ :: rest -> find rest
       | [] -> None
     in
-    find (Array.to_list Sys.argv)
+    find argv
+  in
+  let only =
+    let rec find = function
+      | "--only" :: s :: _ -> Some s
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let sections =
+    [
+      ("fig13", fig13);
+      ("fig11", fig11);
+      ("fig2", fig2);
+      ("np", np_reduction);
+      ("fig3", fig3);
+      ("compile", compile_section);
+    ]
   in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";
   Fmt.pr "(one section per paper figure/table; see EXPERIMENTS.md)@.";
-  fig13 ();
-  fig11 ();
-  fig2 ();
-  np_reduction ();
-  fig3 ();
+  (match only with
+  | None -> List.iter (fun (_, f) -> f ()) sections
+  | Some s -> (
+    match List.assoc_opt s sections with
+    | Some f -> f ()
+    | None ->
+      Fmt.epr "unknown section %S; known: %a@." s
+        Fmt.(list ~sep:comma string)
+        (List.map fst sections);
+      exit 1));
   Option.iter write_json json_path;
   Fmt.pr "@.all benches done.@."

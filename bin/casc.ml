@@ -61,12 +61,29 @@ let engine_arg =
            $(b,dpor) (footprint-guided dynamic partial-order reduction), or \
            $(b,dpor-par) (DPOR with root branches on parallel domains)")
 
+(* shared by [drf]/[tso] (dpor-par workers) and [compile] (parallel
+   per-module builds): a jobs count below 1 is a hard error, not a
+   silent fallback *)
+let jobs_conv : int Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+      Error (`Msg (Fmt.str "invalid jobs count %S (expected an integer)" s))
+    | Some n when n < 1 ->
+      Error (`Msg (Fmt.str "jobs count must be at least 1, got %d" n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some jobs_conv) None
     & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"worker domains for $(b,dpor-par) (default: cores - 1)")
+        ~doc:
+          "worker domains: for $(b,dpor-par) exploration (default: cores - \
+           1) and for $(b,compile) per-module builds (default: 1); must be \
+           at least 1")
 
 let ir_arg =
   Arg.(
@@ -80,16 +97,9 @@ let ir_arg =
 (* compile                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compile_cmd =
-  let run file ir =
-    match parse_client file with
-    | Error e ->
-      Fmt.epr "error: %s@." e;
-      1
-    | Ok client ->
-      let a = Cas_compiler.Driver.compile_artifacts client in
-      let open Cas_compiler.Driver in
-      (match Option.value ~default:"asm" ir with
+let print_ir (a : Cas_compiler.Driver.artifacts) ir =
+  let open Cas_compiler.Driver in
+  match Option.value ~default:"asm" ir with
       | "clight" ->
         List.iter
           (fun f -> Fmt.pr "%s:@.  %a@." f.Clight.fname Clight.pp_stmt f.Clight.fbody)
@@ -116,12 +126,128 @@ let compile_cmd =
       | "mach" ->
         Fmt.pr "%a@." Fmt.(list ~sep:cut Machl.pp_func) a.mach.Machl.funcs
       | "asm" | _ ->
-        Fmt.pr "%a@." Fmt.(list ~sep:cut Asm.pp_func) a.asm.Asm.funcs);
-      0
+    Fmt.pr "%a@." Fmt.(list ~sep:cut Asm.pp_func) a.asm.Asm.funcs
+
+let compile_cmd =
+  let run files ir stats jobs certify cache_dir no_cache =
+    let jobs = Option.value ~default:1 jobs in
+    let use_cache = not no_cache in
+    if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
+    let parsed = List.map (fun f -> (f, parse_client f)) files in
+    match
+      List.filter_map
+        (function f, Error e -> Some (f, e) | _, Ok _ -> None)
+        parsed
+    with
+    | (_, e) :: _ ->
+      Fmt.epr "error: %s@." e;
+      1
+    | [] ->
+      let units =
+        List.filter_map
+          (function f, Ok c -> Some (f, c) | _, Error _ -> None)
+          parsed
+      in
+      let results =
+        Cas_compiler.Driver.compile_all ~cache:use_cache ~jobs
+          (List.map snd units)
+      in
+      let all_sim_ok = ref true in
+      List.iter2
+        (fun (file, client) (c : Cas_compiler.Driver.compiled) ->
+          if stats then begin
+            Fmt.pr "@[<v>unit %s:@,  source unit context %s@,  asm output    \
+                    hash %s@]@."
+              file c.Cas_compiler.Driver.c_context
+              c.Cas_compiler.Driver.c_asm_digest;
+            List.iter
+              (fun st ->
+                Fmt.pr "  %a@." Cas_compiler.Driver.pp_pass_stat st)
+              c.Cas_compiler.Driver.c_stats
+          end;
+          if certify then begin
+            let reports = Cascompcert.Framework.check_passes client in
+            let steps =
+              List.fold_left
+                (fun acc r -> acc + r.Cascompcert.Framework.checker_steps)
+                0 reports
+            in
+            let cached =
+              List.length
+                (List.filter (fun r -> r.Cascompcert.Framework.cached) reports)
+            in
+            List.iter
+              (fun r ->
+                if not (Cascompcert.Framework.sim_ok
+                          r.Cascompcert.Framework.outcome)
+                then all_sim_ok := false;
+                Fmt.pr "  %a@." Cascompcert.Framework.pp_pass_sim r)
+              reports;
+            Fmt.pr
+              "  certificates: %d/%d verdicts from cache, %d checker steps \
+               executed@."
+              cached (List.length reports) steps
+          end;
+          if ir <> None || not (stats || certify) then
+            print_ir
+              (Cas_compiler.Driver.compile_artifacts ~cache:use_cache client)
+              ir)
+        units results;
+      if stats then begin
+        let hits, misses =
+          List.fold_left
+            (fun (h, m) (s : Cas_compiler.Cache.stats) ->
+              (h + s.Cas_compiler.Cache.hits, m + s.Cas_compiler.Cache.misses))
+            (0, 0)
+            (Cas_compiler.Driver.cache_stats ())
+        in
+        Fmt.pr "certificate cache: %d hits, %d misses%s@." hits misses
+          (if use_cache then " (dir: " ^ cache_dir ^ ")" else " (disabled)")
+      end;
+      if !all_sim_ok then 0 else 2
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"mini-C source files (one compilation unit each)")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "print per-pass wall-clock timings, cache hit/miss outcomes and \
+             content hashes instead of the IR")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "also run (or fetch from the certificate cache) the per-pass \
+             footprint-preserving simulation verdicts")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ".casc-cache"
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"certificate-cache directory (persists across invocations)")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"disable the certificate cache entirely")
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"compile a mini-C module and print an IR")
-    Term.(const run $ file_arg $ ir_arg)
+    (Cmd.info "compile"
+       ~doc:
+         "compile mini-C modules separately (content-addressed cache, \
+          parallel with --jobs) and print an IR or --stats")
+    Term.(
+      const run $ files_arg $ ir_arg $ stats_arg $ jobs_arg $ certify_arg
+      $ cache_dir_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* run / drf                                                            *)

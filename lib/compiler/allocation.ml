@@ -317,3 +317,6 @@ let tr_func (f : Rtl.func) : Ltl.func =
 
 let compile (p : Rtl.program) : Ltl.program =
   { Ltl.funcs = List.map tr_func p.Rtl.funcs; globals = p.Rtl.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Allocation" ~src:Rtl.lang ~tgt:Ltl.lang compile

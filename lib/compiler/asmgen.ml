@@ -52,3 +52,6 @@ let tr_func (f : Machl.func) : Asm.func =
 
 let compile (p : Machl.program) : Asm.program =
   { Asm.funcs = List.map tr_func p.Machl.funcs; globals = p.Machl.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Asmgen" ~src:Machl.lang ~tgt:Asm.lang compile

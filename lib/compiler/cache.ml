@@ -1,0 +1,215 @@
+(** The certificate cache: content-addressed stores backing certified
+    separate compilation.
+
+    A ['v store] memoizes values under string keys that are content
+    hashes; the compiler keys each pass's output by
+    [H(pipeline version, options, source-unit hash, pass name)] and the
+    verification layer keys footprint-preserving simulation verdicts by
+    the same seed extended with the check parameters. Because the
+    pipeline is deterministic, a key collision-free hit may skip both the
+    transformation *and* the re-verification of the pass — the paper's
+    separate-compilation story (Lem. 6: per-module certificates compose)
+    made executable.
+
+    Stores are two-level: an in-memory table (per process) in front of an
+    optional on-disk directory shared across processes
+    ([set_default_dir]). Disk entries are [Marshal]-encoded and trusted:
+    a cache directory is as trusted as the build tree, exactly like
+    ccache's. All operations are domain-safe: the table is
+    mutex-protected and disk writes go through a unique temp file plus
+    atomic [rename]. *)
+
+type outcome = [ `Hit | `Miss | `Off ]
+
+let pp_outcome ppf = function
+  | `Hit -> Fmt.string ppf "hit"
+  | `Miss -> Fmt.string ppf "miss"
+  | `Off -> Fmt.string ppf "off"
+
+(* ------------------------------------------------------------------ *)
+(* Content hashing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Content hash of any marshalable value (MD5 of its marshaled bytes),
+    in hex. Only ever applied to pure-data IR programs and key tuples —
+    never to values containing closures. *)
+let digest (v : 'a) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(** Derive a namespaced key from a seed hash: [key ~seed ~pass] is the
+    content address of "the output of [pass] on the unit whose
+    compilation context hashes to [seed]". *)
+let key ~seed ~pass = Digest.to_hex (Digest.string (seed ^ ":" ^ pass))
+
+(* ------------------------------------------------------------------ *)
+(* The global disk-backing switch                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dir_lock = Mutex.create ()
+let dir : string option ref = ref None
+
+(** Enable ([Some dir]) or disable ([None]) disk persistence for every
+    store, current and future. *)
+let set_default_dir d =
+  Mutex.lock dir_lock;
+  dir := d;
+  Mutex.unlock dir_lock
+
+let default_dir () =
+  Mutex.lock dir_lock;
+  let d = !dir in
+  Mutex.unlock dir_lock;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type 'v store = {
+  s_name : string;  (** namespaces keys; the on-disk subdirectory *)
+  tbl : (string, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+type stats = { name : string; hits : int; misses : int }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%-14s %4d hit%s, %4d miss%s" s.name s.hits
+    (if s.hits = 1 then "" else "s")
+    s.misses
+    (if s.misses = 1 then "" else "es")
+
+(* registry of all stores, for aggregate stats / reset *)
+type any_store = Any : 'v store -> any_store
+
+let registry_lock = Mutex.create ()
+let registry : any_store list ref = ref []
+
+let store ~name () : 'v store =
+  let s =
+    {
+      s_name = name;
+      tbl = Hashtbl.create 64;
+      lock = Mutex.create ();
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  registry := Any s :: !registry;
+  Mutex.unlock registry_lock;
+  s
+
+let stats (s : 'v store) =
+  { name = s.s_name; hits = Atomic.get s.hits; misses = Atomic.get s.misses }
+
+let global_stats () : stats list =
+  Mutex.lock registry_lock;
+  let l = !registry in
+  Mutex.unlock registry_lock;
+  List.rev_map (fun (Any s) -> stats s) l
+
+let reset_stats () =
+  Mutex.lock registry_lock;
+  let l = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun (Any s) ->
+      Atomic.set s.hits 0;
+      Atomic.set s.misses 0)
+    l
+
+(** Drop every in-memory entry (disk entries survive); used by tests to
+    exercise the persistent tier from a single process. *)
+let clear_memory () =
+  Mutex.lock registry_lock;
+  let l = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun (Any s) ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.tbl;
+      Mutex.unlock s.lock)
+    l
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdirs d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let path_of s k =
+  Option.map (fun d -> Filename.concat (Filename.concat d s.s_name) k)
+    (default_dir ())
+
+let disk_read : type v. v store -> string -> v option =
+ fun s k ->
+  match path_of s k with
+  | None -> None
+  | Some path -> (
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let v = try Some (Marshal.from_channel ic : v) with _ -> None in
+      close_in_noerr ic;
+      v)
+
+let disk_write (s : 'v store) (k : string) (v : 'v) =
+  match path_of s k with
+  | None -> ()
+  | Some path -> (
+    try
+      mkdirs (Filename.dirname path);
+      let tmp =
+        Fmt.str "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc v [];
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_mem s k =
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl k in
+  Mutex.unlock s.lock;
+  r
+
+let add_mem s k v =
+  Mutex.lock s.lock;
+  Hashtbl.replace s.tbl k v;
+  Mutex.unlock s.lock
+
+(** [find_or_add s k produce]: return the cached value for [k] (memory
+    first, then disk) or run [produce], record the result in both tiers,
+    and return it. Concurrent misses on the same key may each run
+    [produce]; determinism of the producers makes that benign. *)
+let find_or_add (s : 'v store) (k : string) (produce : unit -> 'v) :
+    'v * outcome =
+  match find_mem s k with
+  | Some v ->
+    Atomic.incr s.hits;
+    (v, `Hit)
+  | None -> (
+    match disk_read s k with
+    | Some v ->
+      add_mem s k v;
+      Atomic.incr s.hits;
+      (v, `Hit)
+    | None ->
+      let v = produce () in
+      add_mem s k v;
+      disk_write s k v;
+      Atomic.incr s.misses;
+      (v, `Miss))

@@ -25,3 +25,6 @@ let tr_func (f : Linearl.func) : Linearl.func =
 
 let compile (p : Linearl.program) : Linearl.program =
   { p with Linearl.funcs = List.map tr_func p.Linearl.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"CleanupLabels" ~src:Linearl.lang ~tgt:Linearl.lang compile

@@ -55,3 +55,6 @@ let compile (p : Csharpminor.program) : Cminor.program =
     Cminor.funcs = List.map tr_func p.Csharpminor.funcs;
     globals = p.Csharpminor.globals;
   }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Cminorgen" ~src:Csharpminor.lang ~tgt:Cminor.lang compile

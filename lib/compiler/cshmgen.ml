@@ -54,3 +54,6 @@ let tr_func (f : Clight.func) : Csharpminor.func =
 
 let compile (p : Clight.program) : Csharpminor.program =
   { Csharpminor.funcs = List.map tr_func p.Clight.funcs; globals = p.Clight.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Cshmgen" ~src:Clight.lang ~tgt:Csharpminor.lang compile

@@ -35,3 +35,6 @@ let rec tr_func (f : Rtl.func) : Rtl.func =
 
 let compile (p : Rtl.program) : Rtl.program =
   { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v_opt ~name:"Deadcode" ~lang:Rtl.lang compile

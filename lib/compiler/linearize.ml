@@ -70,3 +70,6 @@ let tr_func (f : Ltl.func) : Linearl.func =
 
 let compile (p : Ltl.program) : Linearl.program =
   { Linearl.funcs = List.map tr_func p.Ltl.funcs; globals = p.Ltl.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Linearize" ~src:Ltl.lang ~tgt:Linearl.lang compile

@@ -41,3 +41,6 @@ let tr_func (f : Rtl.func) : Rtl.func =
 
 let compile (p : Rtl.program) : Rtl.program =
   { p with Rtl.funcs = List.map tr_func p.Rtl.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Renumber" ~src:Rtl.lang ~tgt:Rtl.lang compile

@@ -150,3 +150,6 @@ let tr_func (f : Cminor.func) : Rtl.func =
 
 let compile (p : Cminor.program) : Rtl.program =
   { Rtl.funcs = List.map tr_func p.Cminor.funcs; globals = p.Cminor.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"RTLgen" ~src:Cminor.sel_lang ~tgt:Rtl.lang compile

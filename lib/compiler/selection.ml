@@ -60,3 +60,6 @@ let tr_func (f : Cminor.func) : Cminor.func =
 
 let compile (p : Cminor.program) : Cminor.program =
   { p with Cminor.funcs = List.map tr_func p.Cminor.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Selection" ~src:Cminor.lang ~tgt:Cminor.sel_lang compile

@@ -90,3 +90,6 @@ let tr_func (f : Clight.func) : Clight.func =
 
 let compile (p : Clight.program) : Clight.program =
   { p with Clight.funcs = List.map tr_func p.Clight.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"SimplLocals" ~src:Clight.lang ~tgt:Clight.lang compile

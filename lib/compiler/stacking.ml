@@ -98,3 +98,6 @@ let tr_func (f : Linearl.func) : Machl.func =
 
 let compile (p : Linearl.program) : Machl.program =
   { Machl.funcs = List.map tr_func p.Linearl.funcs; globals = p.Linearl.globals }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Stacking" ~src:Linearl.lang ~tgt:Machl.lang compile

@@ -33,3 +33,6 @@ let tr_func (f : Ltl.func) : Ltl.func =
 
 let compile (p : Ltl.program) : Ltl.program =
   { p with Ltl.funcs = List.map tr_func p.Ltl.funcs }
+
+(** The registered first-class pass (see [Pass], [Pipeline]). *)
+let pass = Pass.v ~name:"Tunneling" ~src:Ltl.lang ~tgt:Ltl.lang compile

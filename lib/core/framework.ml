@@ -137,23 +137,45 @@ type pass_sim_report = {
   pass : string;
   entry : string;
   outcome : Simulation.outcome;
+  cached : bool;
+      (** the verdict came from the certificate cache — no checker steps
+          were executed for it in this run *)
+  checker_steps : int;  (** steps executed by the checker in *this* run *)
 }
 
 let pp_pass_sim ppf r =
-  Fmt.pf ppf "%-14s %-12s %a" r.pass r.entry Simulation.pp_outcome r.outcome
+  Fmt.pf ppf "%-14s %-12s %a%s" r.pass r.entry Simulation.pp_outcome r.outcome
+    (if r.cached then " (cached)" else "")
 
 let sim_ok = function
   | Simulation.Sim_ok _ -> true
   | Simulation.Sim_inconclusive _ -> true (* bounded: no counterexample *)
   | Simulation.Sim_fail _ -> false
 
+(* Memoized per-pass simulation verdicts: the other half of the
+   certificate cache. Keyed by the unit's compilation context hash
+   (pipeline version + options + source unit) extended with the pass
+   name, entry, arguments and checker bounds — sound because the
+   pipeline and the checker are deterministic, so an unchanged unit
+   re-certifies to the identical verdict (the executable face of reusing
+   a per-module correctness proof under Lem. 6). Only default-environment
+   runs are memoized: a caller-supplied [env] is an arbitrary closure we
+   cannot content-address. *)
+let verdicts : Simulation.verdict Cas_compiler.Cache.store =
+  Cas_compiler.Cache.store ~name:"SimVerdict" ()
+
 (** Check the footprint-preserving simulation between every consecutive
     pair of pipeline stages, for every function of the module, on the
     execution driven by [env]. This is the executable analogue of
-    verifying each pass of Fig. 11 against Def. 10. *)
-let check_passes ?env ?max_switches ?tau_bound (p : Clight.program) :
-    pass_sim_report list =
-  let a = Cas_compiler.Driver.compile_artifacts p in
+    verifying each pass of Fig. 11 against Def. 10. The stage list comes
+    from the registered pipeline ([Cas_compiler.Pipeline.fig11]) via the
+    packed trace of [Driver.compile_unit], so a newly registered pass is
+    certified without touching this module. [cache:false] forces
+    re-checking. *)
+let check_passes ?env ?max_switches ?tau_bound ?(cache = true)
+    (p : Clight.program) : pass_sim_report list =
+  let open Cas_compiler in
+  let c = Driver.compile_unit ~cache p in
   let entries = List.map (fun f -> f.Clight.fname) p.Clight.funcs in
   let entry_arity e =
     match List.find_opt (fun f -> f.Clight.fname = e) p.Clight.funcs with
@@ -161,34 +183,55 @@ let check_passes ?env ?max_switches ?tau_bound (p : Clight.program) :
     | None -> 0
   in
   let args_of e = List.init (entry_arity e) (fun i -> Value.Vint (7 + i)) in
-  let chk pass src tgt =
+  let memoizable = cache && env = None in
+  let chk pass (Lang.Mod (src_lang, src_code)) (Lang.Mod (tgt_lang, tgt_code))
+      =
     List.map
       (fun entry ->
+        let run () =
+          Simulation.check_verdict ~src:(src_lang, src_code)
+            ~tgt:(tgt_lang, tgt_code) ~entry ~args:(args_of entry) ?env
+            ?max_switches ?tau_bound ()
+        in
+        let v, hit =
+          if not memoizable then (run (), `Off)
+          else
+            let key =
+              Cache.digest
+                ( c.Driver.c_context,
+                  "sim",
+                  pass,
+                  entry,
+                  args_of entry,
+                  max_switches,
+                  tau_bound )
+            in
+            Cache.find_or_add verdicts key run
+        in
+        let cached = hit = `Hit in
         {
           pass;
           entry;
-          outcome =
-            Simulation.check ~src ~tgt ~entry ~args:(args_of entry) ?env
-              ?max_switches ?tau_bound ();
+          outcome = v.Simulation.v_outcome;
+          cached;
+          checker_steps = (if cached then 0 else Simulation.verdict_steps v);
         })
       entries
   in
-  let open Cas_compiler.Driver in
-  chk "SimplLocals" (Clight.lang, a.clight) (Clight.lang, a.clight_simpl)
-  @ chk "Cshmgen" (Clight.lang, a.clight_simpl) (Csharpminor.lang, a.csharpminor)
-  @ chk "Cminorgen" (Csharpminor.lang, a.csharpminor) (Cminor.lang, a.cminor)
-  @ chk "Selection" (Cminor.lang, a.cminor) (Cminor.sel_lang, a.cminorsel)
-  @ chk "RTLgen" (Cminor.sel_lang, a.cminorsel) (Rtl.lang, a.rtl)
-  @ chk "Tailcall" (Rtl.lang, a.rtl) (Rtl.lang, a.rtl_tailcall)
-  @ chk "Renumber" (Rtl.lang, a.rtl_tailcall) (Rtl.lang, a.rtl_renumber)
-  @ chk "ConstProp" (Rtl.lang, a.rtl_renumber) (Rtl.lang, a.rtl_constprop)
-  @ chk "CSE" (Rtl.lang, a.rtl_constprop) (Rtl.lang, a.rtl_cse)
-  @ chk "Deadcode" (Rtl.lang, a.rtl_cse) (Rtl.lang, a.rtl_deadcode)
-  @ chk "Allocation" (Rtl.lang, a.rtl_deadcode) (Ltl.lang, a.ltl)
-  @ chk "Tunneling" (Ltl.lang, a.ltl) (Ltl.lang, a.ltl_tunneled)
-  @ chk "Linearize" (Ltl.lang, a.ltl_tunneled) (Linearl.lang, a.linear)
-  @ chk "CleanupLabels" (Linearl.lang, a.linear) (Linearl.lang, a.linear_clean)
-  @ chk "Stacking" (Linearl.lang, a.linear_clean) (Machl.lang, a.mach)
-  @ chk "Asmgen" (Machl.lang, a.mach) (Asm.lang, a.asm)
+  let rec stage_pairs = function
+    | (_, m1) :: (((pname, m2) :: _) as rest) ->
+      (pname, m1, m2) :: stage_pairs rest
+    | _ -> []
+  in
+  let per_pass =
+    List.concat_map
+      (fun (pname, m1, m2) -> chk pname m1 m2)
+      (stage_pairs c.Driver.c_trace)
+  in
   (* whole compiler, end to end (Lem. 13 / Correct(CompCert)) *)
-  @ chk "Compiler" (Clight.lang, a.clight) (Asm.lang, a.asm)
+  let whole =
+    match (c.Driver.c_trace, List.rev c.Driver.c_trace) with
+    | (_, first) :: _, (_, last) :: _ -> chk "Compiler" first last
+    | _ -> []
+  in
+  per_pass @ whole

@@ -56,6 +56,23 @@ let pp_outcome ppf = function
   | Sim_fail f -> Fmt.pf ppf "FAIL at switch %d: %s" f.at_switch f.reason
   | Sim_inconclusive s -> Fmt.pf ppf "inconclusive: %s" s
 
+(** A reusable certificate of one checker run: the outcome plus the work
+    it took to establish it. Verdicts are pure data, so the certificate
+    cache can memoize them ([Cascompcert.Framework]) — a cache hit
+    re-delivers the verdict with zero checker steps executed, which is
+    the per-module half of the paper's certified separate compilation. *)
+type verdict = {
+  v_outcome : outcome;
+  v_switches : int;  (** switch points crossed before the checker stopped *)
+  v_steps_src : int;  (** source-side small steps executed *)
+  v_steps_tgt : int;  (** target-side small steps executed *)
+}
+
+let verdict_steps v = v.v_steps_src + v.v_steps_tgt
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%a [%d checker steps]" pp_outcome v.v_outcome (verdict_steps v)
+
 (* ------------------------------------------------------------------ *)
 (* Address correspondence β (the operational face of φ)                *)
 (* ------------------------------------------------------------------ *)
@@ -142,12 +159,16 @@ let run_to_switch (type code core) (lang : (code, core) Lang.t) fl core mem
     Both modules are loaded with their own global environment (the passes
     preserve global declarations, so the block layouts coincide) and the
     same freelist. *)
-let check (type code1 core1 code2 core2) ~(src : (code1, core1) Lang.t * code1)
+let check_verdict (type code1 core1 code2 core2)
+    ~(src : (code1, core1) Lang.t * code1)
     ~(tgt : (code2, core2) Lang.t * code2) ~(entry : string)
     ~(args : Value.t list) ?(env = default_env) ?(max_switches = 64)
-    ?(tau_bound = 50_000) () : outcome =
+    ?(tau_bound = 50_000) () : verdict =
   let src_lang, src_code = src in
   let tgt_lang, tgt_code = tgt in
+  let steps_s_total = ref 0 and steps_t_total = ref 0 in
+  let switches_seen = ref 0 in
+  let outcome =
   let genv_of glb = Genv.link [ glb ] in
   match
     ( genv_of (src_lang.Lang.globals_of src_code),
@@ -204,8 +225,8 @@ let check (type code1 core1 code2 core2) ~(src : (code1, core1) Lang.t * code1)
     | None, Some _ ->
       Sim_fail { at_switch = 0; reason = "entry missing in source" }
     | Some c_s, Some c_t ->
-      let steps_s_total = ref 0 and steps_t_total = ref 0 in
       let rec loop c_s mem_s c_t mem_t switches =
+        switches_seen := switches;
         if switches >= max_switches then
           Sim_ok
             {
@@ -292,6 +313,7 @@ let check (type code1 core1 code2 core2) ~(src : (code1, core1) Lang.t * code1)
                   loop c_s mem_s c_t mem_t (switches + 1)
                 in
                 let finished () =
+                  switches_seen := switches + 1;
                   Sim_ok
                     {
                       switches = switches + 1;
@@ -372,6 +394,19 @@ let check (type code1 core1 code2 core2) ~(src : (code1, core1) Lang.t * code1)
           )
       in
       loop c_s mem_s0 c_t mem_t0 0)
+  in
+  {
+    v_outcome = outcome;
+    v_switches = !switches_seen;
+    v_steps_src = !steps_s_total;
+    v_steps_tgt = !steps_t_total;
+  }
+
+(** Check (sl, ge, γ) ≼ (tl, ge', π), outcome only (see [check_verdict]
+    for the reusable certificate). *)
+let check ~src ~tgt ~entry ~args ?env ?max_switches ?tau_bound () : outcome =
+  (check_verdict ~src ~tgt ~entry ~args ?env ?max_switches ?tau_bound ())
+    .v_outcome
 
 (* ------------------------------------------------------------------ *)
 (* Determinism of a module language on reachable cores — det(tl)       *)

@@ -1,54 +1,14 @@
-(** Parallel frontier scheduler: a pool of OCaml 5 domains draining a
-    shared task counter over an array of independent tasks.
+(** Parallel frontier scheduler for the exploration engines.
 
-    [jobs = 1] is the deterministic fallback: tasks run sequentially, in
-    order, on the calling domain — no domain is spawned and results are
-    bit-for-bit reproducible. With [jobs > 1] tasks are claimed with an
-    atomic fetch-and-add (a degenerate work-stealing deque: one shared
-    bottom), which is ample at the tens-of-tasks granularity the engines
-    produce (DPOR subtree roots, BFS frontier chunks). *)
+    The domain-pool mechanics moved to [Cas_base.Pool] so the compiler's
+    parallel per-module builds share them; this module keeps the
+    historical entry points for the engines. *)
 
-let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let default_jobs = Cas_base.Pool.default_jobs
 
 (** Run every task, returning results in task order. *)
 let run ~jobs (tasks : (unit -> 'a) list) : 'a list =
-  let jobs = max 1 jobs in
-  if jobs = 1 then List.map (fun f -> f ()) tasks
-  else begin
-    let arr = Array.of_list tasks in
-    let n = Array.length arr in
-    let results : 'a option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (arr.(i) ());
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers = min (jobs - 1) (max 0 (n - 1)) in
-    let doms = List.init helpers (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join doms;
-    Array.to_list results |> List.filter_map Fun.id
-  end
+  Cas_base.Pool.run ~jobs tasks
 
-(** Split a list into at most [n] contiguous chunks of near-equal size
-    (for level-synchronous sharded BFS). *)
-let split n l =
-  let len = List.length l in
-  if len = 0 then []
-  else begin
-    let n = max 1 (min n len) in
-    let size = (len + n - 1) / n in
-    let rec go acc cur k = function
-      | [] -> List.rev (List.rev cur :: acc)
-      | x :: rest ->
-        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
-        else go acc (x :: cur) (k + 1) rest
-    in
-    go [] [] 0 l
-  end
+(** Split a list into at most [n] contiguous chunks of near-equal size. *)
+let split n l = Cas_base.Pool.split n l

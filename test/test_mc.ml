@@ -357,5 +357,15 @@ let () =
       ( "reduction",
         [ Alcotest.test_case "dpor >=5x on corpus" `Slow test_dpor_reduction ] );
       ( "random",
-        [ QCheck_alcotest.to_alcotest prop_engines_agree ] );
+        [
+          (* pinned seed for reproducibility; QCHECK_SEED=n overrides *)
+          (let seed =
+             match Sys.getenv_opt "QCHECK_SEED" with
+             | Some s -> (try int_of_string s with _ -> 0x5ca1ab1e)
+             | None -> 0x5ca1ab1e
+           in
+           QCheck_alcotest.to_alcotest
+             ~rand:(Random.State.make [| seed |])
+             prop_engines_agree);
+        ] );
     ]
