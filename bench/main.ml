@@ -39,6 +39,13 @@ let json_worlds : (string * string * int) list ref = ref []
    hits, warm-run cache misses) *)
 let json_compile : (string * float * int * int) list ref = ref []
 
+(* diag section: (program, drf ns, capture ns, overhead pct) *)
+let json_diag : (string * float * float * float) list ref = ref []
+
+(* diag section: (program, orig steps, min steps, orig switches,
+   min switches, attempts) *)
+let json_shrink : (string * int * int * int * int * int) list ref = ref []
+
 let record_worlds ~program ~engine worlds =
   json_worlds := (program, engine, worlds) :: !json_worlds
 
@@ -83,6 +90,26 @@ let write_json path =
          \"cache_misses\": %d}"
         (json_escape pass) ns hits misses)
     (List.rev !json_compile);
+  pr "\n  ],\n  \"diag\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (program, drf_ns, cap_ns, pct) ->
+      sep first;
+      pr
+        "    {\"program\": \"%s\", \"drf_ns\": %.2f, \"capture_ns\": %.2f, \
+         \"overhead_pct\": %.2f}"
+        (json_escape program) drf_ns cap_ns pct)
+    (List.rev !json_diag);
+  pr "\n  ],\n  \"shrink\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (program, os, ms, osw, msw, att) ->
+      sep first;
+      pr
+        "    {\"program\": \"%s\", \"orig_steps\": %d, \"min_steps\": %d, \
+         \"orig_switches\": %d, \"min_switches\": %d, \"attempts\": %d}"
+        (json_escape program) os ms osw msw att)
+    (List.rev !json_shrink);
   pr "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "@.json results written to %s@." path
@@ -546,6 +573,104 @@ let compile_section () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* diag: counterexample capture overhead & schedule shrinking           *)
+(* ------------------------------------------------------------------ *)
+
+let diag () =
+  Fmt.pr "@.=== DIAG — counterexample capture & schedule shrinking ===@.";
+  let progs =
+    [
+      ( "racy-counter",
+        Corpus.racy_prog (),
+        Corpus.racy_counter_src,
+        [ "inc"; "inc" ] );
+      ( "racy-observer",
+        Corpus.observer_prog (),
+        Corpus.racy_observer_writer_src,
+        [ "writer"; "reader" ] );
+      ( "lock-counter",
+        Corpus.lock_counter_prog (),
+        Corpus.counter_src,
+        [ "inc"; "inc" ] );
+    ]
+  in
+  let worlds =
+    List.filter_map
+      (fun (name, p, src, entries) ->
+        match World.load p ~args:[] with
+        | Error _ -> None
+        | Ok w -> Some (name, w, src, entries))
+      progs
+  in
+  (* capture overhead: [Race.drf] vs [Capture.race], both exploring the
+     dpor selection view — capture adds the recorder writes and the
+     spanning-tree path reconstruction on top of the same search.
+     Best-of-N minimum wall clock, not OLS means: these runs sit in the
+     hundreds of microseconds where GC pauses swamp a percent-level
+     comparison, and the minimum is the noise-robust estimator for a
+     deterministic computation. *)
+  let rounds = 25 in
+  Fmt.pr "capture overhead over plain DRF (dpor engine, best of %d):@." rounds;
+  Fmt.pr "  %-16s %11s %11s %9s@." "program" "drf" "capture" "overhead";
+  List.iter
+    (fun (name, w, _, _) ->
+      let drf_f () = ignore (Race.drf ~engine:Engine.Dpor w) in
+      let cap_f () = ignore (Cas_diag.Capture.race ~engine:Engine.Dpor w) in
+      (* warm up, then time the two alternately so heap growth and GC
+         state drift hit both sides equally *)
+      drf_f ();
+      cap_f ();
+      Gc.full_major ();
+      let drf_best = ref infinity and cap_best = ref infinity in
+      for _ = 1 to rounds do
+        let t0 = Unix.gettimeofday () in
+        drf_f ();
+        let t1 = Unix.gettimeofday () in
+        cap_f ();
+        let t2 = Unix.gettimeofday () in
+        drf_best := min !drf_best ((t1 -. t0) *. 1e9);
+        cap_best := min !cap_best ((t2 -. t1) *. 1e9)
+      done;
+      let drf_ns = !drf_best and cap_ns = !cap_best in
+      let pct = (cap_ns -. drf_ns) /. drf_ns *. 100. in
+      json_benchmarks :=
+        ("diag capture:" ^ name, rounds, cap_ns)
+        :: ("diag drf:" ^ name, rounds, drf_ns)
+        :: !json_benchmarks;
+      json_diag := (name, drf_ns, cap_ns, pct) :: !json_diag;
+      Fmt.pr "  %-16s %a %a %+8.1f%%@." name pp_ns drf_ns pp_ns cap_ns pct)
+    worlds;
+  (* shrink effectiveness on the captured witnesses *)
+  Fmt.pr "@.schedule shrinking (captured witness -> minimal):@.";
+  Fmt.pr "  %-16s %14s %14s %9s@." "program" "steps" "switches" "attempts";
+  List.iter
+    (fun (name, w, src, entries) ->
+      let rc = Cas_diag.Capture.race ~engine:Engine.Dpor w in
+      match rc.Cas_diag.Capture.rc_verdict with
+      | None -> Fmt.pr "  %-16s DRF: nothing to shrink@." name
+      | Some v ->
+        let wit =
+          Cas_diag.Witness.make ~program:src ~entries
+            ~with_lock:(name = "lock-counter")
+            ~semantics:Cas_diag.Witness.Sc ~engine:"dpor" ~seed:0 ~verdict:v
+            rc.Cas_diag.Capture.rc_steps
+        in
+        let r = Cas_diag.Shrink.shrink (Cas_diag.Sem.of_world w) wit in
+        json_shrink :=
+          ( name,
+            r.Cas_diag.Shrink.sh_orig_steps,
+            r.Cas_diag.Shrink.sh_min_steps,
+            r.Cas_diag.Shrink.sh_orig_switches,
+            r.Cas_diag.Shrink.sh_min_switches,
+            r.Cas_diag.Shrink.sh_attempts )
+          :: !json_shrink;
+        Fmt.pr "  %-16s %5d -> %5d %7d -> %4d %9d@." name
+          r.Cas_diag.Shrink.sh_orig_steps r.Cas_diag.Shrink.sh_min_steps
+          r.Cas_diag.Shrink.sh_orig_switches r.Cas_diag.Shrink.sh_min_switches
+          r.Cas_diag.Shrink.sh_attempts)
+    worlds
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -573,6 +698,7 @@ let () =
       ("np", np_reduction);
       ("fig3", fig3);
       ("compile", compile_section);
+      ("diag", diag);
     ]
   in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";

@@ -9,7 +9,15 @@
     - [check FILE ...]: execute the full Fig. 2 framework pipeline;
     - [sim FILE --entry f]: per-pass footprint-preserving simulation;
     - [tso FILE ...]: compile and run against the TTAS spin lock on the
-      x86-TSO machine, and check the strengthened DRF-guarantee. *)
+      x86-TSO machine, and check the strengthened DRF-guarantee;
+    - [repro FILE --out W.json]: capture a counterexample schedule as a
+      self-contained witness file ([Cas_diag]);
+    - [replay W.json [--shrink] [--trace T.json]]: deterministically
+      re-execute a witness, optionally minimizing it and exporting a
+      Chrome/Perfetto trace;
+    - [explain W.json]: render a witness interleaving for humans.
+
+    [drf] and [tso] also take [--witness FILE] to capture on failure. *)
 
 open Cmdliner
 open Cas_base
@@ -84,6 +92,13 @@ let jobs_arg =
           "worker domains: for $(b,dpor-par) exploration (default: cores - \
            1) and for $(b,compile) per-module builds (default: 1); must be \
            at least 1")
+
+let witness_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "witness" ] ~docv:"FILE"
+        ~doc:"on a negative verdict, write a replayable witness here")
 
 let ir_arg =
   Arg.(
@@ -264,6 +279,68 @@ let build_prog client ~with_lock ~entries ~compiled =
   in
   Lang.prog mods entries
 
+(* ------------------------------------------------------------------ *)
+(* Witness plumbing (Cas_diag)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_source src =
+  try Ok (Parse.clight src) with
+  | Lexer.Error (msg, pos) ->
+    Error (Fmt.str "embedded program: %s at %a" msg Lexer.pp_pos pos)
+
+(** Rebuild the replayable semantics a witness was captured against,
+    entirely from the witness (the program source is embedded). *)
+let sem_of_witness (w : Cas_diag.Witness.t) :
+    (Cas_diag.Sem.state, string) result =
+  match parse_source w.Cas_diag.Witness.program with
+  | Error e -> Error e
+  | Ok client -> (
+    match w.Cas_diag.Witness.semantics with
+    | Cas_diag.Witness.Sc -> (
+      let p =
+        build_prog client ~with_lock:w.Cas_diag.Witness.with_lock
+          ~entries:w.Cas_diag.Witness.entries ~compiled:false
+      in
+      match World.load p ~args:[] with
+      | Error e -> Error (Fmt.str "load: %a" World.pp_load_error e)
+      | Ok w0 -> Ok (Cas_diag.Sem.of_world w0))
+    | Cas_diag.Witness.Tso -> (
+      let asm = Cas_compiler.Driver.compile client in
+      match
+        Cas_tso.Tso.load
+          [ asm; Cas_tso.Locks.pi_lock ]
+          w.Cas_diag.Witness.entries
+      with
+      | Error e -> Error (Fmt.str "TSO load: %a" World.pp_load_error e)
+      | Ok w0 -> Ok (Cas_diag.Sem.of_tso w0)))
+
+let save_witness (w : Cas_diag.Witness.t) ~file =
+  Cas_diag.Witness.save w ~file;
+  Fmt.pr "witness written to %s (%a)@." file Cas_diag.Witness.pp w
+
+(** Capture a TSO counterexample on the loaded machine [w0]: a schedule
+    realizing an unmatched completed trace of the failed guarantee check,
+    falling back to a schedule reaching an abort. *)
+let capture_tso_failure w0 (g : Cas_tso.Objsim.guarantee_report) :
+    (Cas_diag.Witness.verdict * Cas_diag.Witness.step list) option =
+  let s0 = Cas_diag.Sem.of_tso w0 in
+  let missing_done =
+    List.filter (fun (_, st) -> st = Explore.SDone) g.Cas_tso.Objsim.missing
+  in
+  match
+    List.find_map
+      (fun (es, _) ->
+        Option.map
+          (fun steps -> (Cas_diag.Witness.Vrefine es, steps))
+          (Cas_diag.Capture.schedule_for_events s0 ~events:es ()))
+      missing_done
+  with
+  | Some r -> Some r
+  | None ->
+    Option.map
+      (fun steps -> (Cas_diag.Witness.Vabort, steps))
+      (Cas_diag.Capture.schedule_to_abort s0 ())
+
 let run_cmd =
   let run file entries with_lock compiled =
     match parse_client file with
@@ -291,7 +368,7 @@ let run_cmd =
     Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ compiled_arg)
 
 let drf_cmd =
-  let run file entries with_lock engine jobs =
+  let run file entries with_lock engine jobs witness =
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -303,7 +380,23 @@ let drf_cmd =
         Fmt.epr "load error: %a@." World.pp_load_error e;
         1
       | Ok w ->
-        let r = Race.drf ~engine ?jobs w in
+        let r =
+          match witness with
+          | None -> Race.drf ~engine ?jobs w
+          | Some wfile ->
+            (* capture mode: recorder-threaded exploration, then save the
+               reconstructed schedule next to the verdict *)
+            let rc = Cas_diag.Capture.race ~engine ?jobs w in
+            (match rc.Cas_diag.Capture.rc_verdict with
+            | None -> Fmt.pr "DRF: no witness written@."
+            | Some v ->
+              save_witness ~file:wfile
+                (Cas_diag.Witness.make ~program:(read_file file)
+                   ~entries ~with_lock ~semantics:Cas_diag.Witness.Sc
+                   ~engine:(Engine.to_string engine) ~seed:0 ~verdict:v
+                   rc.Cas_diag.Capture.rc_steps));
+            rc.Cas_diag.Capture.rc_report
+        in
         Fmt.pr "%a@." Race.pp_drf_report r;
         Option.iter
           (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
@@ -312,7 +405,9 @@ let drf_cmd =
   in
   Cmd.v
     (Cmd.info "drf" ~doc:"exhaustive data-race detection (Fig. 9)")
-    Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ engine_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ entries_arg $ with_lock_arg $ engine_arg
+      $ jobs_arg $ witness_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check / sim / tso                                                    *)
@@ -360,7 +455,7 @@ let sim_cmd =
     Term.(const run $ file_arg)
 
 let tso_cmd =
-  let run file entries engine jobs =
+  let run file entries engine jobs witness =
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -381,14 +476,247 @@ let tso_cmd =
             ~pi:Cas_tso.Locks.pi_lock ~gamma:(Cimp.gamma_lock ()) ~entries ()
         in
         Fmt.pr "Lemma 16: %a@." Cas_tso.Objsim.pp_guarantee g;
+        (match witness with
+        | Some wfile when not g.Cas_tso.Objsim.holds -> (
+          match capture_tso_failure w g with
+          | Some (verdict, steps) ->
+            save_witness ~file:wfile
+              (Cas_diag.Witness.make ~program:(read_file file) ~entries
+                 ~with_lock:false ~semantics:Cas_diag.Witness.Tso
+                 ~engine:(Engine.to_string engine) ~seed:0 ~verdict steps)
+          | None ->
+            Fmt.epr "no schedule found for the failure: no witness written@.")
+        | _ -> ());
         if g.Cas_tso.Objsim.holds then 0 else 2)
   in
   Cmd.v
     (Cmd.info "tso"
        ~doc:"run compiled code against the TTAS lock on the x86-TSO machine")
-    Term.(const run $ file_arg $ entries_arg $ engine_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ entries_arg $ engine_arg $ jobs_arg
+      $ witness_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* repro / replay / explain                                             *)
+(* ------------------------------------------------------------------ *)
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "witness.json"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"output witness file")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"minimize the schedule (ddmin + run merging) before writing")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"export a Chrome trace-event JSON (open in Perfetto)")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N" ~doc:"seed recorded in the witness header")
+
+let tso_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "tso" ]
+        ~doc:
+          "capture against the x86-TSO machine (compiled client + TTAS \
+           lock) instead of the SC race predictor")
+
+let shrink_and_save wit ~do_shrink ~out ~trace =
+  let wit =
+    if not do_shrink then wit
+    else
+      match sem_of_witness wit with
+      | Error e ->
+        Fmt.epr "shrink: cannot rebuild the semantics: %s@." e;
+        wit
+      | Ok s0 ->
+        let r = Cas_diag.Shrink.shrink s0 wit in
+        Fmt.pr "%a@." Cas_diag.Shrink.pp_report r;
+        r.Cas_diag.Shrink.sh_witness
+  in
+  save_witness wit ~file:out;
+  Option.iter
+    (fun tfile ->
+      Cas_diag.Export.save_chrome wit ~file:tfile;
+      Fmt.pr "trace written to %s@." tfile)
+    trace
+
+let repro_cmd =
+  let run file entries with_lock tso engine jobs seed out do_shrink trace =
+    match parse_client file with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok client -> (
+      let src = read_file file in
+      let witness =
+        if tso then begin
+          let asm = Cas_compiler.Driver.compile client in
+          match Cas_tso.Tso.load [ asm; Cas_tso.Locks.pi_lock ] entries with
+          | Error e -> Error (Fmt.str "TSO load: %a" World.pp_load_error e)
+          | Ok w0 ->
+            let g =
+              Cas_tso.Objsim.check_drf_guarantee ~engine ?jobs
+                ~clients:[ asm ] ~pi:Cas_tso.Locks.pi_lock
+                ~gamma:(Cimp.gamma_lock ()) ~entries ()
+            in
+            Fmt.pr "Lemma 16: %a@." Cas_tso.Objsim.pp_guarantee g;
+            if g.Cas_tso.Objsim.holds then Ok None
+            else
+              Ok
+                (Option.map
+                   (fun (verdict, steps) ->
+                     Cas_diag.Witness.make ~program:src ~entries
+                       ~with_lock:false ~semantics:Cas_diag.Witness.Tso
+                       ~engine:(Engine.to_string engine) ~seed ~verdict steps)
+                   (capture_tso_failure w0 g))
+        end
+        else
+          let p = build_prog client ~with_lock ~entries ~compiled:false in
+          match World.load p ~args:[] with
+          | Error e -> Error (Fmt.str "load: %a" World.pp_load_error e)
+          | Ok w0 -> (
+            let rc = Cas_diag.Capture.race ~engine ?jobs w0 in
+            Fmt.pr "%a@." Race.pp_drf_report rc.Cas_diag.Capture.rc_report;
+            match rc.Cas_diag.Capture.rc_verdict with
+            | Some v ->
+              Ok
+                (Some
+                   (Cas_diag.Witness.make ~program:src ~entries ~with_lock
+                      ~semantics:Cas_diag.Witness.Sc
+                      ~engine:(Engine.to_string engine) ~seed ~verdict:v
+                      rc.Cas_diag.Capture.rc_steps))
+            | None ->
+              (* DRF: an abort schedule is still a counterexample *)
+              Ok
+                (Option.map
+                   (fun steps ->
+                     Cas_diag.Witness.make ~program:src ~entries ~with_lock
+                       ~semantics:Cas_diag.Witness.Sc
+                       ~engine:(Engine.to_string engine) ~seed
+                       ~verdict:Cas_diag.Witness.Vabort steps)
+                   (Cas_diag.Capture.schedule_to_abort
+                      (Cas_diag.Sem.of_world w0) ())))
+      in
+      match witness with
+      | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+      | Ok None ->
+        Fmt.pr "no counterexample found: nothing to capture@.";
+        1
+      | Ok (Some wit) ->
+        shrink_and_save wit ~do_shrink ~out ~trace;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "capture a counterexample (race, abort, or TSO refinement \
+          failure) as a self-contained replayable witness")
+    Term.(
+      const run $ file_arg $ entries_arg $ with_lock_arg $ tso_flag_arg
+      $ engine_arg $ jobs_arg $ seed_arg $ out_arg $ shrink_arg $ trace_arg)
+
+let witness_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"WITNESS" ~doc:"witness JSON file")
+
+let replay_cmd =
+  let run file do_shrink trace out =
+    match Cas_diag.Witness.load ~file with
+    | Error e ->
+      Fmt.epr "error: %s: %s@." file e;
+      1
+    | Ok wit -> (
+      if wit.Cas_diag.Witness.version <> Cas_base.Version.v then
+        Fmt.epr
+          "warning: witness captured by version %s, this is %s — a \
+           mismatch below may just mean the tool changed@."
+          wit.Cas_diag.Witness.version Cas_base.Version.v;
+      if
+        Cas_diag.Witness.hash_program wit.Cas_diag.Witness.program
+        <> wit.Cas_diag.Witness.prog_hash
+      then begin
+        Fmt.epr "error: embedded program does not match its recorded hash@.";
+        1
+      end
+      else
+        match sem_of_witness wit with
+        | Error e ->
+          Fmt.epr "error: %s@." e;
+          1
+        | Ok s0 ->
+          let o = Cas_diag.Replay.run s0 wit in
+          Fmt.pr "replay %s: %s (%d/%d steps, events [%a])@." file
+            o.Cas_diag.Replay.detail o.Cas_diag.Replay.steps_matched
+            (List.length wit.Cas_diag.Witness.steps)
+            Fmt.(list ~sep:comma Event.pp)
+            o.Cas_diag.Replay.events;
+          if not o.Cas_diag.Replay.ok then 2
+          else begin
+            (if do_shrink || trace <> None || out <> None then
+               let out = Option.value ~default:file out in
+               shrink_and_save wit ~do_shrink ~out ~trace);
+            0
+          end)
+  in
+  let out_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"write the (possibly shrunk) witness here (default: in place)")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "re-execute a witness schedule step by step, verifying events, \
+          footprints and target worlds against the recording")
+    Term.(const run $ witness_file_arg $ shrink_arg $ trace_arg $ out_opt_arg)
+
+let explain_cmd =
+  let run file =
+    match Cas_diag.Witness.load ~file with
+    | Error e ->
+      Fmt.epr "error: %s: %s@." file e;
+      1
+    | Ok wit ->
+      Fmt.pr "%a" Cas_diag.Export.explain wit;
+      0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"render a witness interleaving as a human-readable timeline")
+    Term.(const run $ witness_file_arg)
 
 let () =
   let doc = "certified-separate-compilation playground (CASCompCert reproduction)" in
-  let info = Cmd.info "casc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; drf_cmd; check_cmd; sim_cmd; tso_cmd ]))
+  let info = Cmd.info "casc" ~version:Cas_base.Version.v ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            compile_cmd;
+            run_cmd;
+            drf_cmd;
+            check_cmd;
+            sim_cmd;
+            tso_cmd;
+            repro_cmd;
+            replay_cmd;
+            explain_cmd;
+          ]))

@@ -1,0 +1,7 @@
+int x = 0;
+void inc() {
+  int tmp;
+  tmp = x;
+  x = tmp + 1;
+  print(tmp);
+}

@@ -1,0 +1,10 @@
+(** The single tool-version constant.
+
+    Everything that stamps an artifact reads it from here: the [casc]
+    command line (`casc --version`), the witness JSON header written by
+    [Cas_diag.Witness], and the certificate-cache key salt
+    ([Cas_compiler.Pipeline.version]). Bumping it therefore both marks
+    new witnesses and invalidates stale cached certificates, so an
+    artifact produced by an older build is always detectable. *)
+
+let v = "1.1.0"

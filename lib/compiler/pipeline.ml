@@ -105,12 +105,16 @@ let length () = List.length (names ())
 
 (** Bump when a pass's semantics changes without renaming it; every
     certificate-cache key includes [version], so this invalidates all
-    previously cached artifacts and verdicts. *)
+    previously cached artifacts and verdicts. The tool version
+    [Cas_base.Version.v] is part of the salt too, so artifacts cached by
+    an older build are never served to a newer one (the same constant is
+    stamped into witness JSON headers by [Cas_diag]). *)
 let schema_version = "casc-pipeline-1"
 
 let version =
   Cache.digest
-    ( schema_version,
+    ( Cas_base.Version.v,
+      schema_version,
       List.map (fun e -> (e.e_name, e.e_src, e.e_tgt, e.e_optimizing))
         (entries ()) )
 

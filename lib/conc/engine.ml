@@ -125,25 +125,25 @@ let selection_system : World.t Cas_mc.Mcsys.t =
     representative subset keyed without the scheduler choice, so [visit]
     must compute [cur]-independent, order-insensitive facts (the race
     predictor is both). *)
-let explore ?(engine = Naive) ?jobs ?max_worlds (w0 : World.t)
+let explore ?(engine = Naive) ?jobs ?max_worlds ?recorder (w0 : World.t)
     ~(visit : World.t -> unit) : Cas_mc.Stats.t =
   match engine with
   | Naive ->
-    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds
+    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds ?recorder
       (Explore.to_mc (Explore.world_system Preemptive.steps))
       (Gsem.initials w0) ~visit
   | Dpor | Dpor_par ->
-    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds selection_system [ w0 ]
-      ~visit
+    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds ?recorder
+      selection_system [ w0 ] ~visit
 
 (** Engine-selected trace enumeration from a loaded world. *)
-let traces ?(engine = Naive) ?jobs ?max_steps ?max_paths (w0 : World.t) :
-    Explore.trace_result * Cas_mc.Stats.t =
+let traces ?(engine = Naive) ?jobs ?max_steps ?max_paths ?recorder
+    (w0 : World.t) : Explore.trace_result * Cas_mc.Stats.t =
   match engine with
   | Naive ->
-    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths
+    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths ?recorder
       (Explore.to_mc (Explore.world_system Preemptive.steps))
       (Gsem.initials w0)
   | Dpor | Dpor_par ->
-    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths selection_system
-      [ w0 ]
+    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths ?recorder
+      selection_system [ w0 ]

@@ -78,10 +78,14 @@ let to_mc (sys : 'w system) : 'w Cas_mc.Mcsys.t =
           (sys.steps w));
   }
 
-(** Breadth-first reachability. [visit] is called once per distinct world. *)
-let reachable_gen ?max_worlds (sys : 'w system) (initials : 'w list)
-    ~(visit : 'w -> unit) : stats =
-  stats_of_mc (Cas_mc.Naive.reachable ?max_worlds (to_mc sys) initials ~visit)
+(** Breadth-first reachability. [visit] is called once per distinct world.
+    [recorder], when given, records the schedule spanning tree — note the
+    adapted system carries no thread ids (every recorded step has
+    tid = -1), so recordings of this view identify worlds, not threads. *)
+let reachable_gen ?max_worlds ?recorder (sys : 'w system)
+    (initials : 'w list) ~(visit : 'w -> unit) : stats =
+  stats_of_mc
+    (Cas_mc.Naive.reachable ?max_worlds ?recorder (to_mc sys) initials ~visit)
 
 (* ------------------------------------------------------------------ *)
 (* Trace enumeration                                                   *)
@@ -131,9 +135,9 @@ let world_system (step : Gsem.stepf) : World.t system =
           (step w));
   }
 
-let reachable ?max_worlds (step : Gsem.stepf) (initials : World.t list)
-    ~(visit : World.t -> unit) : stats =
-  reachable_gen ?max_worlds (world_system step) initials ~visit
+let reachable ?max_worlds ?recorder (step : Gsem.stepf)
+    (initials : World.t list) ~(visit : World.t -> unit) : stats =
+  reachable_gen ?max_worlds ?recorder (world_system step) initials ~visit
 
 let traces ?max_steps ?max_paths (step : Gsem.stepf) (initials : World.t list)
     : trace_result =

@@ -112,10 +112,23 @@ let races_np (w : World.t) =
 type drf_report = {
   drf : bool;
   witness : (int * prediction * int * prediction) option;
+  witness_world : World.t option;
+      (** the racy world the witness was predicted at, for diagnostics *)
   stats : Explore.stats;
   engine_stats : Cas_mc.Stats.t option;
       (** full engine accounting when a [Cas_mc] engine ran the search *)
 }
+
+(** Total selection key for a race witness: the racy world's
+    scheduler-independent fingerprint, then the rendered witness tuple.
+    The engines visit worlds in an order that depends on the engine and,
+    under [dpor-par], on domain interleaving — but the *set* of visited
+    worlds is the same, so picking the minimal key makes the reported
+    witness a function of the program alone, stable across engines and
+    [--jobs] values. *)
+let witness_key (w : World.t) ((t1, (d1, b1), t2, (d2, b2)) : int * prediction * int * prediction) : string =
+  Fmt.str "%s|%d %a %b|%d %a %b" (World.fingerprint_nocur w) t1 Footprint.pp
+    d1 b1 t2 Footprint.pp d2 b2
 
 let pp_drf_report ppf r =
   match r.witness with
@@ -128,38 +141,57 @@ let pp_drf_report ppf r =
     reachable worlds and apply the race predictor to each. Instantiated
     with [Preemptive.steps] this is DRF(P); with [Nonpreemptive.steps] it
     is NPDRF(P) (§5). *)
-let check ?(max_worlds = 200_000) ?predictor (step : Gsem.stepf)
+let check ?(max_worlds = 200_000) ?predictor ?recorder (step : Gsem.stepf)
     (w0 : World.t) : drf_report =
   let witness = ref None in
+  let world = ref None in
   let stats =
-    Explore.reachable ~max_worlds step (Gsem.initials w0) ~visit:(fun w ->
+    Explore.reachable ~max_worlds ?recorder step (Gsem.initials w0)
+      ~visit:(fun w ->
         if !witness = None then
           match race_witness ?predictor w with
-          | Some wt -> witness := Some wt
+          | Some wt ->
+            witness := Some wt;
+            world := Some w
           | None -> ())
   in
-  { drf = !witness = None; witness = !witness; stats; engine_stats = None }
+  {
+    drf = !witness = None;
+    witness = !witness;
+    witness_world = !world;
+    stats;
+    engine_stats = None;
+  }
 
 (** DRF(P) with a selectable exploration engine: [Naive] is [check] on
     the scheduler-explicit preemptive graph; the DPOR engines run the
     race predictor over the reduced thread-selection view (the predictor
     reads only thread states and memory — never [cur] — so its verdict
     is well-defined on selection worlds). *)
-let drf ?max_worlds ?(engine = Engine.Naive) ?jobs w0 =
+let drf ?max_worlds ?(engine = Engine.Naive) ?jobs ?recorder w0 =
   match engine with
-  | Engine.Naive -> check ?max_worlds Preemptive.steps w0
+  | Engine.Naive -> check ?max_worlds ?recorder Preemptive.steps w0
   | Engine.Dpor | Engine.Dpor_par ->
-    let witness = ref None in
+    (* Keep the candidate with the smallest [witness_key] over *all* racy
+       worlds, not the first one visited: under [dpor-par] the visit
+       order depends on domain scheduling, first-hit would make the
+       reported witness (and everything downstream: capture, replay,
+       shrink) flap across [--jobs] values. *)
+    let best = ref None in
     let st =
-      Engine.explore ~engine ?jobs ?max_worlds w0 ~visit:(fun w ->
-          if !witness = None then
-            match race_witness w with
-            | Some wt -> witness := Some wt
-            | None -> ())
+      Engine.explore ~engine ?jobs ?max_worlds ?recorder w0 ~visit:(fun w ->
+          match race_witness w with
+          | None -> ()
+          | Some wt ->
+            let key = witness_key w wt in
+            (match !best with
+            | Some (key', _, _) when key' <= key -> ()
+            | _ -> best := Some (key, wt, w)))
     in
     {
-      drf = !witness = None;
-      witness = !witness;
+      drf = !best = None;
+      witness = Option.map (fun (_, wt, _) -> wt) !best;
+      witness_world = Option.map (fun (_, _, w) -> w) !best;
       stats = Explore.stats_of_mc st;
       engine_stats = Some st;
     }

@@ -90,8 +90,10 @@ let traces_of ?max_steps ?max_paths (step : Gsem.stepf) (p : Lang.prog) :
 
 (** Like [traces_of] under the preemptive semantics, but with a
     selectable exploration engine (naive, DPOR, parallel DPOR). *)
-let traces_of_pre ?engine ?jobs ?max_steps ?max_paths (p : Lang.prog) :
+let traces_of_pre ?engine ?jobs ?max_steps ?max_paths ?recorder
+    (p : Lang.prog) :
     (Explore.trace_result * Cas_mc.Stats.t, World.load_error) result =
   match World.load p ~args:[] with
   | Error e -> Error e
-  | Ok w0 -> Ok (Engine.traces ?engine ?jobs ?max_steps ?max_paths w0)
+  | Ok w0 ->
+    Ok (Engine.traces ?engine ?jobs ?max_steps ?max_paths ?recorder w0)

@@ -1,0 +1,260 @@
+(** A minimal JSON tree, printer, and parser — just enough for witness
+    files and Chrome trace exports. Deliberately dependency-free (the
+    toolchain image carries no JSON library) and integer-only: nothing we
+    serialize needs floats, and omitting them keeps round-trips exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_buffer b (j : t) =
+  let rec go ind j =
+    match j with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '\n';
+          Buffer.add_string b (String.make (ind + 2) ' ');
+          go (ind + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make ind ' ');
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '\n';
+          Buffer.add_string b (String.make (ind + 2) ' ');
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\": ";
+          go (ind + 2) v)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make ind ' ');
+      Buffer.add_char b '}'
+  in
+  go 0 j
+
+let to_string (j : t) : string =
+  let b = Buffer.create 1024 in
+  to_buffer b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Fmt.str "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Fmt.str "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Fmt.str "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance ()
+        | Some '/' -> Buffer.add_char b '/'; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> fail "bad \\u escape"
+          | Some code ->
+            (* our own output only \u-escapes control characters; decode
+               the Latin-1 subset and reject the rest *)
+            if code < 0x100 then Buffer.add_char b (Char.chr code)
+            else fail "non-latin1 \\u escape")
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some '0' .. '9' ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then fail "expected number";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some ('-' | '0' .. '9') -> Int (parse_int ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some c -> fail (Fmt.str "unexpected %C" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Fmt.str "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (decoding helpers)                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Decode_error of string
+
+let decode_fail fmt = Fmt.kstr (fun m -> raise (Decode_error m)) fmt
+
+let member key = function
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> decode_fail "missing field %S" key)
+  | _ -> decode_fail "expected object with field %S" key
+
+let member_opt key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_int_exn = function Int n -> n | _ -> decode_fail "expected int"
+let to_str_exn = function Str s -> s | _ -> decode_fail "expected string"
+let to_bool_exn = function Bool b -> b | _ -> decode_fail "expected bool"
+let to_list_exn = function List l -> l | _ -> decode_fail "expected array"
+
+(** Run a decoder, turning [Decode_error] into [Error]. *)
+let decode (f : t -> 'a) (j : t) : ('a, string) result =
+  try Ok (f j) with Decode_error m -> Error m

@@ -1,0 +1,166 @@
+(** Deterministic replay: re-execute a witness schedule against the
+    global semantics, checking each step against the recording.
+
+    Strict mode ([run]) is the integrity check: every scheduled step must
+    be matched by an enabled transition with the same thread, event, and
+    footprint, and — when the witness carries target digests — the same
+    target world. A mismatch is itself a finding: either the witness is
+    stale (program or tool changed under it; the header hashes say which)
+    or the semantics stopped being deterministic where it was, and the
+    report says at which step and why.
+
+    Permissive mode ([exec]) is the shrinking oracle: steps are matched
+    by thread id with best-effort tie-breaking (target digest, then
+    event + footprint, then event alone), so edited schedules — steps
+    dropped, runs merged — still execute as long as each scheduled
+    thread can move. [Shrink] only trusts it combined with the verdict
+    check below.
+
+    Verdict reproduction: [Vrace (t1, t2)] reproduces as soon as *any*
+    visited world predicts a race between t1 and t2 (not only the last —
+    this is what lets shrinking drop schedule suffixes); [Vabort]
+    reproduces when an abort transition is enabled at the final world (or
+    anywhere along it in permissive mode); [Vrefine es] reproduces when
+    the schedule runs to completion emitting exactly [es]. *)
+
+open Cas_base
+
+type outcome = {
+  ok : bool;  (** all steps matched and the verdict was reproduced *)
+  steps_matched : int;
+  verdict_reached : bool;
+  events : Event.t list;  (** events emitted by the re-execution *)
+  executed : Witness.step list;
+      (** the steps actually executed, re-derived from the semantics (not
+          copied from the input schedule) — shrinking rebuilds witnesses
+          from these so digests and footprints stay authoritative *)
+  detail : string;
+}
+
+(** Does [i] reproduce the recorded step [s] exactly? *)
+let strict_match (s : Witness.step) (i : Sem.info) =
+  (not i.Sem.i_abort)
+  && i.Sem.i_tid = s.Witness.s_tid
+  && (s.Witness.s_dst = "" || i.Sem.i_dst = s.Witness.s_dst)
+  && Option.equal Event.equal i.Sem.i_event s.Witness.s_event
+  && Footprint.equal i.Sem.i_fp (Sem.info_of_step s).Sem.i_fp
+
+(** Match quality for permissive execution; 0 is "not usable". *)
+let loose_score (s : Witness.step) (i : Sem.info) =
+  if i.Sem.i_abort || i.Sem.i_tid <> s.Witness.s_tid then 0
+  else if s.Witness.s_dst <> "" && i.Sem.i_dst = s.Witness.s_dst then 4
+  else if
+    Option.equal Event.equal i.Sem.i_event s.Witness.s_event
+    && Footprint.equal i.Sem.i_fp (Sem.info_of_step s).Sem.i_fp
+  then 3
+  else if Option.equal Event.equal i.Sem.i_event s.Witness.s_event then 2
+  else 1
+
+type chooser =
+  Witness.step ->
+  (Sem.info * Sem.state option) list ->
+  (Sem.info * Sem.state option) option
+
+let strict_chooser : chooser =
+ fun step candidates ->
+  List.find_opt (fun (i, _) -> strict_match step i) candidates
+
+(** Highest-scoring candidate; among equal scores the first wins (the
+    semantics enumerates transitions deterministically). *)
+let loose_chooser : chooser =
+ fun step candidates ->
+  let best =
+    List.fold_left
+      (fun acc ((i, _) as c) ->
+        let sc = loose_score step i in
+        match acc with
+        | Some (sc', _) when sc' >= sc -> acc
+        | _ -> if sc > 0 then Some (sc, c) else acc)
+      None candidates
+  in
+  Option.map snd best
+
+let run_with ~(choose : chooser) ~(any_point_abort : bool) (s0 : Sem.state)
+    (w : Witness.t) : outcome =
+  let race_pair =
+    match w.Witness.verdict with
+    | Witness.Vrace (t1, t2) -> Some (t1, t2)
+    | _ -> None
+  in
+  let want_abort = w.Witness.verdict = Witness.Vabort in
+  let finish ~ok ~n ~events ~executed detail =
+    {
+      ok;
+      steps_matched = n;
+      verdict_reached = ok;
+      events = List.rev events;
+      executed = List.rev executed;
+      detail;
+    }
+  in
+  let abort_enabled ?tid candidates =
+    List.exists
+      (fun ((i : Sem.info), _) ->
+        i.Sem.i_abort
+        && match tid with None -> true | Some t -> i.Sem.i_tid = t)
+      candidates
+  in
+  let rec go (s : Sem.state) steps n events executed =
+    match race_pair with
+    | Some (t1, t2) when s.Sem.s_race t1 t2 ->
+      finish ~ok:true ~n ~events ~executed
+        (Fmt.str "race between T%d and T%d reproduced after %d steps" t1 t2 n)
+    | _ -> (
+      let candidates = lazy (s.Sem.s_succ ()) in
+      match steps with
+      | [] ->
+        let ok =
+          match w.Witness.verdict with
+          | Witness.Vrace _ -> false (* would have finished above *)
+          | Witness.Vabort -> abort_enabled (Lazy.force candidates)
+          | Witness.Vrefine es ->
+            s.Sem.s_done
+            && List.length es = List.length events
+            && List.for_all2 Event.equal es (List.rev events)
+        in
+        finish ~ok ~n ~events ~executed
+          (if ok then Fmt.str "verdict reproduced after %d steps" n
+           else "schedule executed but the verdict did not reproduce")
+      | step :: rest -> (
+        let candidates = Lazy.force candidates in
+        (* a recorded abort step ends the schedule; in permissive mode any
+           enabled abort of the scheduled thread ends it early *)
+        if
+          want_abort
+          && (rest = [] || any_point_abort)
+          && abort_enabled ~tid:step.Witness.s_tid candidates
+        then
+          finish ~ok:true ~n:(n + 1) ~events ~executed:(step :: executed)
+            (Fmt.str "abort reproduced after %d steps" (n + 1))
+        else
+          match choose step candidates with
+          | None ->
+            finish ~ok:false ~n ~events ~executed
+              (Fmt.str
+                 "step %d: no enabled transition of T%d matches the \
+                  recording (%d candidates)"
+                 n step.Witness.s_tid (List.length candidates))
+          | Some (i, None) ->
+            finish ~ok:false ~n ~events ~executed
+              (Fmt.str "step %d: T%d aborts where the recording continues" n
+                 i.Sem.i_tid)
+          | Some (i, Some s') ->
+            let events =
+              match i.Sem.i_event with Some e -> e :: events | None -> events
+            in
+            go s' rest (n + 1) events (Sem.step_of_info i :: executed)))
+  in
+  go s0 w.Witness.steps 0 [] []
+
+(** Strict replay: thread + event + footprint + target digest. *)
+let run (s0 : Sem.state) (w : Witness.t) : outcome =
+  run_with ~choose:strict_chooser ~any_point_abort:false s0 w
+
+(** Permissive replay for shrinking. *)
+let exec (s0 : Sem.state) (w : Witness.t) : outcome =
+  run_with ~choose:loose_chooser ~any_point_abort:true s0 w

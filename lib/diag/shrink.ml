@@ -1,0 +1,180 @@
+(** Schedule shrinking: ddmin-style minimization plus greedy run
+    merging, with the permissive replay oracle ([Replay.exec]) deciding
+    whether a candidate schedule still reproduces the witness verdict.
+
+    Two phases, iterated under a shared attempt budget:
+
+    - *drop* (ddmin, Zeller–Hildebrandt): remove chunks of steps at
+      doubling granularity, keeping any candidate that still reproduces.
+      Because [Replay.exec] re-derives the executed steps and stops as
+      soon as the verdict is reached, accepted candidates also shed
+      unreachable suffixes for free.
+    - *merge*: hoist each run of consecutive same-thread steps to sit
+      directly after the previous run of that thread, keeping the move
+      when it reproduces with fewer context switches. This targets the
+      metric that matters for a human reading the interleaving — the
+      number of preemptions — which pure step-dropping does not.
+
+    Every accepted candidate is the re-derived execution, so the final
+    witness's footprints and target digests come from the semantics, not
+    from editing — the shrunk witness strict-replays ([Replay.run]). *)
+
+type report = {
+  sh_witness : Witness.t;
+  sh_orig_steps : int;
+  sh_min_steps : int;
+  sh_orig_switches : int;
+  sh_min_switches : int;
+  sh_attempts : int;  (** permissive executions spent *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "shrunk %d -> %d steps, %d -> %d switches (%d attempts)"
+    r.sh_orig_steps r.sh_min_steps r.sh_orig_switches r.sh_min_switches
+    r.sh_attempts
+
+let switches_of (steps : Witness.step list) : int =
+  match steps with
+  | [] -> 0
+  | s0 :: rest ->
+    fst
+      (List.fold_left
+         (fun (n, prev) (s : Witness.step) ->
+           ((if s.Witness.s_tid = prev then n else n + 1), s.Witness.s_tid))
+         (0, s0.Witness.s_tid)
+         rest)
+
+(* split [l] into [n] contiguous chunks of near-equal length *)
+let chunks n l =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go i l acc =
+    if i >= n then List.rev acc
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let rec take k l pre =
+        if k = 0 then (List.rev pre, l)
+        else match l with [] -> (List.rev pre, []) | x :: r -> take (k - 1) r (x :: pre)
+      in
+      let c, rest = take k l [] in
+      go (i + 1) rest (c :: acc)
+  in
+  go 0 l []
+
+(* adjacent same-thread runs of a schedule *)
+let runs (steps : Witness.step list) : Witness.step list list =
+  List.fold_left
+    (fun acc (s : Witness.step) ->
+      match acc with
+      | (r0 :: _ as run) :: rest when r0.Witness.s_tid = s.Witness.s_tid ->
+        (s :: run) :: rest
+      | _ -> [ s ] :: acc)
+    [] steps
+  |> List.rev_map List.rev
+
+let run_tid = function
+  | (s : Witness.step) :: _ -> s.Witness.s_tid
+  | [] -> -1
+
+(** Shrink [w] against initial state [s0]. [max_attempts] bounds the
+    number of candidate executions (the step budget: each execution costs
+    at most the schedule length in semantics steps). *)
+let shrink ?(max_attempts = 2000) (s0 : Sem.state) (w : Witness.t) : report =
+  let attempts = ref 0 in
+  let exhausted () = !attempts >= max_attempts in
+  (* run a candidate; [Some executed] iff it reproduces the verdict *)
+  let try_steps steps : Witness.step list option =
+    if exhausted () then None
+    else begin
+      incr attempts;
+      let o = Replay.exec s0 { w with Witness.steps } in
+      if o.Replay.ok then Some o.Replay.executed else None
+    end
+  in
+  let orig_steps = List.length w.Witness.steps in
+  let orig_switches = switches_of w.Witness.steps in
+  match try_steps w.Witness.steps with
+  | None ->
+    (* the witness does not even execute permissively: leave it alone *)
+    {
+      sh_witness = w;
+      sh_orig_steps = orig_steps;
+      sh_min_steps = orig_steps;
+      sh_orig_switches = orig_switches;
+      sh_min_switches = orig_switches;
+      sh_attempts = !attempts;
+    }
+  | Some baseline ->
+    (* phase 1: ddmin over steps *)
+    let rec ddmin steps n =
+      let len = List.length steps in
+      if len <= 1 || n > len || exhausted () then steps
+      else
+        let cs = chunks n steps in
+        let complement i =
+          List.concat (List.filteri (fun j _ -> j <> i) cs)
+        in
+        let rec try_removals i =
+          if i >= List.length cs || exhausted () then None
+          else
+            match try_steps (complement i) with
+            | Some executed when List.length executed < len -> Some executed
+            | _ -> try_removals (i + 1)
+        in
+        (match try_removals 0 with
+        | Some executed -> ddmin executed (max 2 (n - 1))
+        | None -> if n >= len then steps else ddmin steps (min len (2 * n)))
+    in
+    let dropped = ddmin baseline 2 in
+    (* phase 2: greedy run merging, to a fixpoint or budget *)
+    let merge_pass steps : Witness.step list option =
+      let rs = runs steps in
+      let n = List.length rs in
+      let cur_switches = switches_of steps in
+      let rec try_hoist i =
+        if i >= n || exhausted () then None
+        else
+          let tid = run_tid (List.nth rs i) in
+          (* latest earlier run of the same thread, if any *)
+          let j =
+            List.fold_left
+              (fun acc k -> if run_tid (List.nth rs k) = tid then Some k else acc)
+              None
+              (List.init i (fun k -> k))
+          in
+          match j with
+          | Some j when j < i - 1 -> (
+            let moved = List.nth rs i in
+            let rest = List.filteri (fun k _ -> k <> i) rs in
+            let candidate =
+              List.concat
+                (List.concat_map
+                   (fun k ->
+                     let r = List.nth rest k in
+                     if k = j then [ r; moved ] else [ r ])
+                   (List.init (n - 1) (fun k -> k)))
+            in
+            match try_steps candidate with
+            | Some executed when switches_of executed < cur_switches ->
+              Some executed
+            | _ -> try_hoist (i + 1))
+          | _ -> try_hoist (i + 1)
+      in
+      try_hoist 1
+    in
+    let rec merge_fix steps =
+      match merge_pass steps with
+      | Some steps' -> merge_fix steps'
+      | None -> steps
+    in
+    let merged = merge_fix dropped in
+    (* one more drop round: merging can strand now-removable steps *)
+    let final = if exhausted () then merged else ddmin merged 2 in
+    {
+      sh_witness = { w with Witness.steps = final };
+      sh_orig_steps = orig_steps;
+      sh_min_steps = List.length final;
+      sh_orig_switches = orig_switches;
+      sh_min_switches = switches_of final;
+      sh_attempts = !attempts;
+    }

@@ -105,6 +105,7 @@ type 'w state = {
   sys : 'w Mcsys.t;
   cfg : cfg;
   store : Store.t;
+  recorder : Recorder.t option;
   on_world : 'w -> unit;
   emit : Trace.t -> unit;
   paths : int Atomic.t;
@@ -118,14 +119,31 @@ type 'w state = {
 (** Explore from world [w]. [path] is the current schedule, newest first:
     each element pairs an executed transition with the frame of the world
     it was taken *from* (DPOR's pre(S, i)). [events] is the reversed
-    event trace so far; [sleep] the inherited sleep set. *)
-let rec explore (rs : 'w state) path on_path w events sleep depth =
+    event trace so far; [sleep] the inherited sleep set. [via] is the
+    edge that led here (parent fingerprint and executed transition),
+    recorded against this world's fingerprint — which is computed here
+    anyway for the store, so recording costs no extra fingerprints. *)
+let rec explore (rs : 'w state) ?via path on_path w events sleep depth =
   if Atomic.get rs.paths > rs.cfg.max_paths then
     Atomic.set rs.incomplete true
   else begin
     let wfp = rs.sys.Mcsys.fingerprint w in
     (match Store.add rs.store wfp with
-    | `New -> rs.on_world w
+    | `New ->
+      (* first admission: record the spanning-tree edge that led here
+         (the parent is already recorded — it was admitted, and so
+         recorded, before any task could descend through it) *)
+      (match (rs.recorder, via) with
+      | Some r, Some (parent, (t : 'w Mcsys.trans)) ->
+        Recorder.record r ~parent
+          {
+            Recorder.r_tid = t.Mcsys.tid;
+            r_label = t.Mcsys.label;
+            r_fp = t.Mcsys.fp;
+          }
+          ~child:wfp
+      | _ -> ());
+      rs.on_world w
     | `Seen -> ()
     | `Full -> Atomic.set rs.incomplete true);
     if rs.sys.Mcsys.all_done w then rs.emit (List.rev events, Trace.SDone)
@@ -256,8 +274,9 @@ and run_frame rs path on_path wfp events sleep depth frame groups sleep_tids =
                   | Mcsys.Levt e -> e :: events
                   | Mcsys.Ltau | Mcsys.Lsw -> events
                 in
-                explore rs ((frame, t) :: path) on_path' w' events' sleep'
-                  (depth + 1))
+                explore rs ~via:(wfp, t)
+                  ((frame, t) :: path)
+                  on_path' w' events' sleep' (depth + 1))
             g.g_trans;
           explored := slept_of_group g :: !explored);
         loop ()
@@ -280,7 +299,7 @@ and run_frame rs path on_path wfp events sleep depth frame groups sleep_tids =
     pruning at the root, buys conflict-free parallelism, and keeps
     verdicts deterministic: tasks share only the (thread-safe) canonical
     store and the atomic accounting. *)
-let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
+let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg) ?recorder
     (sys : 'w Mcsys.t) (initials : 'w list) ~(on_world : 'w -> unit) :
     Trace.result * Stats.t =
   let t0 = Unix.gettimeofday () *. 1e9 in
@@ -306,11 +325,15 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
         (fun () -> on_world w)
     else on_world
   in
+  let root_fp fp =
+    match recorder with None -> () | Some r -> Recorder.root r fp
+  in
   let rs =
     {
       sys;
       cfg;
       store;
+      recorder;
       on_world;
       emit;
       paths = Atomic.make 0;
@@ -322,7 +345,11 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
     }
   in
   if not parallel then
-    List.iter (fun w0 -> explore rs [] SSet.empty w0 [] [] 0) initials
+    List.iter
+      (fun w0 ->
+        root_fp (sys.Mcsys.fingerprint w0);
+        explore rs [] SSet.empty w0 [] [] 0)
+      initials
   else begin
     (* Root split: one task per (initial, root transition). Each task owns
        a private copy of the root frame with done = enabled, so dynamic
@@ -332,6 +359,7 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
       List.concat_map
         (fun w0 ->
           let wfp = sys.Mcsys.fingerprint w0 in
+          root_fp wfp;
           (match Store.add store wfp with
           | `New -> rs.on_world w0
           | `Seen | `Full -> ());
@@ -374,7 +402,7 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg)
                           | Mcsys.Levt e -> [ e ]
                           | Mcsys.Ltau | Mcsys.Lsw -> []
                         in
-                        explore rs
+                        explore rs ~via:(wfp, t)
                           [ (frame, t) ]
                           (SSet.singleton wfp) w' events [] 1)
                     g.g_trans)

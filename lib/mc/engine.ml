@@ -33,23 +33,23 @@ let resolve_jobs = function
 
 (** Reachability with the selected engine; [visit] fires once per
     distinct world (hold no assumption on visit order across engines). *)
-let reachable ?(engine = Naive) ?jobs ?(max_worlds = 200_000)
+let reachable ?(engine = Naive) ?jobs ?(max_worlds = 200_000) ?recorder
     (sys : 'w Mcsys.t) (initials : 'w list) ~(visit : 'w -> unit) : Stats.t =
   match engine with
-  | Naive -> Naive.reachable ~max_worlds sys initials ~visit
+  | Naive -> Naive.reachable ~max_worlds ?recorder sys initials ~visit
   | Dpor ->
     let cfg = { Dpor.default_cfg with Dpor.max_worlds } in
-    snd (Dpor.run ~collect:false ~cfg sys initials ~on_world:visit)
+    snd (Dpor.run ~collect:false ~cfg ?recorder sys initials ~on_world:visit)
   | Dpor_par ->
     let cfg = { Dpor.default_cfg with Dpor.max_worlds } in
     snd
-      (Dpor.run ~jobs:(resolve_jobs jobs) ~collect:false ~cfg sys initials
-         ~on_world:visit)
+      (Dpor.run ~jobs:(resolve_jobs jobs) ~collect:false ~cfg ?recorder sys
+         initials ~on_world:visit)
 
 (** Trace enumeration with the selected engine. *)
 let traces ?(engine = Naive) ?jobs ?(max_steps = 4000)
-    ?(max_paths = 200_000) (sys : 'w Mcsys.t) (initials : 'w list) :
-    Trace.result * Stats.t =
+    ?(max_paths = 200_000) ?recorder (sys : 'w Mcsys.t)
+    (initials : 'w list) : Trace.result * Stats.t =
   match engine with
   | Naive -> Naive.traces ~max_steps ~max_paths sys initials
   | Dpor | Dpor_par ->
@@ -57,4 +57,5 @@ let traces ?(engine = Naive) ?jobs ?(max_steps = 4000)
       { Dpor.default_cfg with Dpor.max_depth = max_steps; max_paths }
     in
     let jobs = if engine = Dpor then 1 else resolve_jobs jobs in
-    Dpor.run ~jobs ~collect:true ~cfg sys initials ~on_world:ignore
+    Dpor.run ~jobs ~collect:true ~cfg ?recorder sys initials
+      ~on_world:ignore

@@ -19,13 +19,16 @@ let now_ns () = Unix.gettimeofday () *. 1e9
     arbitrates duplicates ([visit] is then serialized under a lock, and
     visit *order* is not deterministic — verdicts computed from visits
     must be order-insensitive). *)
-let reachable ?(jobs = 1) ?(max_worlds = 200_000) (sys : 'w Mcsys.t)
-    (initials : 'w list) ~(visit : 'w -> unit) : Stats.t =
+let reachable ?(jobs = 1) ?(max_worlds = 200_000) ?recorder
+    (sys : 'w Mcsys.t) (initials : 'w list) ~(visit : 'w -> unit) : Stats.t =
   let t0 = now_ns () in
   let store = Store.create ~capacity:max_worlds () in
   let transitions = Atomic.make 0 in
   let abort = Atomic.make false in
-  let expand w =
+  (* the frontier carries each world's fingerprint (computed when it was
+     admitted to the store) so neither visiting nor edge recording ever
+     recomputes one *)
+  let expand (w, wfp) =
     (* successors of a visited world, deduplicated through the store *)
     List.filter_map
       (fun (tr : 'w Mcsys.trans) ->
@@ -35,41 +38,59 @@ let reachable ?(jobs = 1) ?(max_worlds = 200_000) (sys : 'w Mcsys.t)
           Atomic.set abort true;
           None
         | Mcsys.Next w' ->
-          if Store.add store (sys.Mcsys.fingerprint w') = `New then Some w'
+          let cfp = sys.Mcsys.fingerprint w' in
+          if Store.add store cfp = `New then begin
+            (match recorder with
+            | None -> ()
+            | Some r ->
+              Recorder.record r ~parent:wfp
+                {
+                  Recorder.r_tid = tr.Mcsys.tid;
+                  r_label = tr.Mcsys.label;
+                  r_fp = tr.Mcsys.fp;
+                }
+                ~child:cfp);
+            Some (w', cfp)
+          end
           else None)
       (sys.Mcsys.trans w)
   in
+  let root fp =
+    match recorder with None -> () | Some r -> Recorder.root r fp
+  in
+  let admit w =
+    let fp = sys.Mcsys.fingerprint w in
+    if Store.add store fp = `New then begin
+      root fp;
+      Some (w, fp)
+    end
+    else None
+  in
   if jobs <= 1 then begin
     let queue = Queue.create () in
-    let push w =
-      if Store.add store (sys.Mcsys.fingerprint w) = `New then Queue.add w queue
-    in
-    List.iter push initials;
+    List.iter
+      (fun w -> Option.iter (fun p -> Queue.add p queue) (admit w))
+      initials;
     while not (Queue.is_empty queue) do
-      let w = Queue.pop queue in
+      let ((w, _) as p) = Queue.pop queue in
       visit w;
-      List.iter (fun w' -> Queue.add w' queue) (expand w)
+      List.iter (fun p' -> Queue.add p' queue) (expand p)
     done
   end
   else begin
     let vlock = Mutex.create () in
-    let frontier =
-      ref
-        (List.filter
-           (fun w -> Store.add store (sys.Mcsys.fingerprint w) = `New)
-           initials)
-    in
+    let frontier = ref (List.filter_map admit initials) in
     while !frontier <> [] do
       let next =
         Frontier.run ~jobs
           (List.map
              (fun chunk () ->
                List.concat_map
-                 (fun w ->
+                 (fun ((w, _) as p) ->
                    Mutex.lock vlock;
                    Fun.protect ~finally:(fun () -> Mutex.unlock vlock)
                      (fun () -> visit w);
-                   expand w)
+                   expand p)
                  chunk)
              (Frontier.split jobs !frontier))
       in

@@ -25,6 +25,9 @@ type guarantee_report = {
   detail : string;
   tso_traces : Explore.TraceSet.t;
   sc_traces : Explore.TraceSet.t;
+  missing : Explore.trace list;
+      (** TSO traces unmatched under SC — the refinement counterexamples
+          [Cas_diag] renders when the guarantee fails *)
 }
 
 let pp_guarantee ppf r =
@@ -46,6 +49,7 @@ let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000) ?engine
       detail;
       tso_traces = Explore.TraceSet.empty;
       sc_traces = Explore.TraceSet.empty;
+      missing = [];
     }
   in
   match Tso.load (clients @ [ pi ]) entries with
@@ -75,6 +79,7 @@ let check_drf_guarantee ?(max_steps = 3000) ?(max_paths = 150_000) ?engine
             (if t_sc.Explore.complete then "" else "*");
         tso_traces = t_tso.Explore.traces;
         sc_traces = t_sc.Explore.traces;
+        missing = r.Refine.missing;
       })
 
 (* ------------------------------------------------------------------ *)

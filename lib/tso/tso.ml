@@ -308,6 +308,20 @@ let local_steps (w : world) (tid : int) : succ list =
         Cas_conc.Explore.GNext (g, w'))
     (local_trans w tid)
 
+(** Store-buffer length of thread [tid] (0 for unknown threads). *)
+let buffer_len (w : world) (tid : int) : int =
+  match IMap.find_opt tid w.threads with
+  | None -> 0
+  | Some t -> List.length t.buf
+
+(** Did the step [w] → [w'] attributed to [tid] drain that thread's
+    buffer? [unbuffer] is the only transition that shrinks a buffer
+    (instruction steps only append or leave it alone), so a strictly
+    shorter buffer identifies flush steps — [Cas_diag] uses this to mark
+    flush points on captured TSO schedules. *)
+let is_drain (w : world) (w' : world) (tid : int) : bool =
+  buffer_len w' tid < buffer_len w tid
+
 (** Commit the oldest buffered write of thread [tid] to memory. *)
 let unbuffer (w : world) (tid : int) : world option =
   match IMap.find_opt tid w.threads with
@@ -400,26 +414,28 @@ let initials (w : world) : world list =
     reachability but may cut cycles at different points (so [SCut]
     entries are only comparable between engines on the same view). *)
 let mc_traces ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_steps ?max_paths
-    (w : world) : Cas_conc.Explore.trace_result * Cas_mc.Stats.t =
+    ?recorder (w : world) : Cas_conc.Explore.trace_result * Cas_mc.Stats.t =
   match engine with
   | Cas_mc.Engine.Naive ->
-    Cas_mc.Engine.traces ?max_steps ?max_paths
+    Cas_mc.Engine.traces ?max_steps ?max_paths ?recorder
       (Cas_conc.Explore.to_mc system)
       (initials w)
   | Cas_mc.Engine.Dpor | Cas_mc.Engine.Dpor_par ->
-    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths mc_system [ w ]
+    Cas_mc.Engine.traces ~engine ?jobs ?max_steps ?max_paths ?recorder
+      mc_system [ w ]
 
 let traces ?engine ?jobs ?max_steps ?max_paths (w : world) :
     Cas_conc.Explore.trace_result =
   fst (mc_traces ?engine ?jobs ?max_steps ?max_paths w)
 
 (** Engine-selected reachability over the TSO machine. *)
-let explore ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_worlds (w : world)
-    ~(visit : world -> unit) : Cas_mc.Stats.t =
+let explore ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_worlds ?recorder
+    (w : world) ~(visit : world -> unit) : Cas_mc.Stats.t =
   match engine with
   | Cas_mc.Engine.Naive ->
-    Cas_mc.Engine.reachable ?jobs ?max_worlds
+    Cas_mc.Engine.reachable ?jobs ?max_worlds ?recorder
       (Cas_conc.Explore.to_mc system)
       (initials w) ~visit
   | Cas_mc.Engine.Dpor | Cas_mc.Engine.Dpor_par ->
-    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds mc_system [ w ] ~visit
+    Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds ?recorder mc_system
+      [ w ] ~visit

@@ -1,0 +1,219 @@
+(** Direct unit tests for the TTAS lock module ([Cas_tso.Locks], Fig. 10):
+    the acquire and release footprints as seen by the TSO machine, the
+    store-buffer behaviour of the plain-store release, and the
+    permission-system confinement that makes the lock's races benign
+    (§7.3: the racy accesses all target the [Object]-permission lock
+    word, which client code cannot reach). *)
+
+open Cas_base
+open Cas_langs
+open Cas_tso
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let load_lock entries =
+  match Tso.load [ Locks.pi_lock ] entries with
+  | Ok w -> w
+  | Error e -> Alcotest.failf "load: %a" Cas_conc.World.pp_load_error e
+
+let lock_addr (w : Tso.world) : Addr.t =
+  match Genv.find_addr w.Tso.genv "L" with
+  | Some a -> a
+  | None -> Alcotest.fail "lock word L not linked"
+
+(** Run thread [tid] deterministically (first transition) until a step
+    with a non-empty footprint appears; return that footprint and the
+    world before/after the step. Fails if the thread gets stuck first. *)
+let rec step_to_touch ?(bound = 50) (w : Tso.world) tid :
+    Footprint.t * Tso.world * Tso.world =
+  if bound = 0 then Alcotest.fail "no memory-touching step found"
+  else
+    match Tso.local_trans w tid with
+    | { Cas_mc.Mcsys.fp; target = Cas_mc.Mcsys.Next w'; _ } :: _ ->
+      if Footprint.is_empty fp then step_to_touch ~bound:(bound - 1) w' tid
+      else (fp, w, w')
+    | _ -> Alcotest.fail "thread stuck or aborted before touching memory"
+
+let tfp = Alcotest.testable Footprint.pp Footprint.equal
+
+(* ------------------------------------------------------------------ *)
+(* Footprints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_acquire_footprint () =
+  (* the first memory-touching step of [lock] on a free lock is the
+     [lock cmpxchg]: an atomic read-modify-write of L *)
+  let w = load_lock [ "lock" ] in
+  let l = lock_addr w in
+  let fp, _, w' = step_to_touch w 1 in
+  check tfp "cmpxchg reads and writes exactly L"
+    (Footprint.union (Footprint.read1 l) (Footprint.write1 l))
+    fp;
+  (* locked instructions bypass the buffer: nothing left to drain *)
+  check tint "no buffered store after acquire" 0 (Tso.buffer_len w' 1)
+
+let test_release_footprint_and_buffer () =
+  (* [unlock] is a plain store: write footprint on L, but the value goes
+     to the store buffer, not memory *)
+  let w = load_lock [ "unlock" ] in
+  let l = lock_addr w in
+  let fp, before, after = step_to_touch w 1 in
+  check tfp "release writes exactly L" (Footprint.write1 l) fp;
+  check tint "store is buffered, not committed" 1 (Tso.buffer_len after 1);
+  check tbool "buffering is not a drain" false (Tso.is_drain before after 1);
+  (* memory still holds the initial value until the drain *)
+  (match Memory.load ~perm:Perm.Object after.Tso.mem l with
+  | Ok v -> check tbool "L untouched in memory" true (Value.equal v (Value.Vint 1))
+  | Error _ -> Alcotest.fail "cannot read L");
+  (* drain: the buffered release reaches memory *)
+  match Tso.unbuffer after 1 with
+  | None -> Alcotest.fail "nothing to drain"
+  | Some drained -> (
+    check tbool "unbuffer is a drain" true (Tso.is_drain after drained 1);
+    check tint "buffer empty after drain" 0 (Tso.buffer_len drained 1);
+    match Memory.load ~perm:Perm.Object drained.Tso.mem l with
+    | Ok v -> check tbool "release visible" true (Value.equal v (Value.Vint 1))
+    | Error _ -> Alcotest.fail "cannot read L after drain")
+
+let test_spin_load_footprint () =
+  (* on a *held* lock the cmpxchg fails and the TTAS loop falls into the
+     plain-load spin: its footprint is a read of L — one side of the
+     benign race against a releasing thread's store *)
+  let w = load_lock [ "lock"; "lock" ] in
+  let l = lock_addr w in
+  let rec acquire w bound =
+    if bound = 0 then w
+    else
+      match Tso.local_trans w 1 with
+      | { Cas_mc.Mcsys.target = Cas_mc.Mcsys.Next w'; _ } :: _ ->
+        acquire w' (bound - 1)
+      | _ -> w
+  in
+  let w_held = acquire w 50 in
+  (* thread 1 is done (lock held, returned); thread 2 now spins *)
+  let fp1, _, w_after_cmpxchg = step_to_touch w_held 2 in
+  check tfp "loser's cmpxchg still reads+writes L"
+    (Footprint.union (Footprint.read1 l) (Footprint.write1 l))
+    fp1;
+  let fp2, _, _ = step_to_touch w_after_cmpxchg 2 in
+  check tfp "spin loop reads L with a plain load" (Footprint.read1 l) fp2
+
+(* ------------------------------------------------------------------ *)
+(* Confinement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let client_reader : Asm.program =
+  (* a *client* (is_object = false) function that loads the lock word *)
+  {
+    Asm.funcs =
+      [
+        {
+          Asm.fname = "snoop";
+          arity = 0;
+          framesize = 0;
+          is_object = false;
+          code =
+            [
+              Asm.Plea_global (Mreg.CX, "L");
+              Asm.Pload (Mreg.AX, Mreg.CX, 0);
+              Asm.Pret false;
+            ];
+        };
+      ];
+    globals = [];
+  }
+
+let test_confinement_client_load_aborts () =
+  match Tso.load [ client_reader; Locks.pi_lock ] [ "snoop" ] with
+  | Error e -> Alcotest.failf "load: %a" Cas_conc.World.pp_load_error e
+  | Ok w ->
+    let rec run w bound =
+      if bound = 0 then Alcotest.fail "client never reached the load"
+      else
+        match Tso.local_trans w 1 with
+        | [ { Cas_mc.Mcsys.target = Cas_mc.Mcsys.Abort; _ } ] -> ()
+        | { Cas_mc.Mcsys.target = Cas_mc.Mcsys.Next w'; _ } :: _ ->
+          run w' (bound - 1)
+        | _ -> Alcotest.fail "client stuck without aborting"
+    in
+    run w 50
+
+let test_object_code_may_touch_lock_word () =
+  (* the same load inside object code is exactly the TTAS spin read *)
+  let w = load_lock [ "unlock" ] in
+  let l = lock_addr w in
+  let fp, _, _ = step_to_touch w 1 in
+  check tbool "object code reaches L" true
+    (Addr.Set.mem l fp.Footprint.ws)
+
+(* ------------------------------------------------------------------ *)
+(* The fence variant                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fenced_release_blocks_until_drained () =
+  match Tso.load [ Locks.pi_lock_fenced ] [ "unlock" ] with
+  | Error e -> Alcotest.failf "load: %a" Cas_conc.World.pp_load_error e
+  | Ok w ->
+    let fp, _, buffered = step_to_touch w 1 in
+    check tbool "fenced release still stores to L" true
+      (not (Footprint.is_empty fp));
+    (* advance to the fence: with a non-empty buffer the thread has no
+       instruction step — only the drain can proceed *)
+    let rec to_fence w bound =
+      if bound = 0 then Alcotest.fail "never reached the fence"
+      else
+        match Tso.local_trans w 1 with
+        | [] -> w (* blocked: the mfence refuses a non-empty buffer *)
+        | { Cas_mc.Mcsys.target = Cas_mc.Mcsys.Next w'; _ } :: _ ->
+          to_fence w' (bound - 1)
+        | _ -> Alcotest.fail "unexpected abort before the fence"
+    in
+    let blocked = to_fence buffered 10 in
+    check tint "store still buffered at the fence" 1
+      (Tso.buffer_len blocked 1);
+    (match Tso.unbuffer blocked 1 with
+    | None -> Alcotest.fail "nothing to drain at the fence"
+    | Some drained ->
+      check tbool "fence passable once drained" true
+        (Tso.local_trans drained 1 <> []))
+
+(* ------------------------------------------------------------------ *)
+(* The benign race is real: lock-word accesses do conflict              *)
+(* ------------------------------------------------------------------ *)
+
+let test_release_conflicts_with_spin () =
+  (* the footprints of the plain-store release and the plain-load spin
+     conflict — the race §7.3 calls benign exists; what makes it benign
+     is confinement (above) plus the object simulation (test_tso) *)
+  let w = load_lock [ "unlock" ] in
+  let l = lock_addr w in
+  check tbool "store/load footprints on L conflict" true
+    (Footprint.conflict (Footprint.write1 l) (Footprint.read1 l))
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "footprints",
+        [
+          Alcotest.test_case "acquire (cmpxchg)" `Quick test_acquire_footprint;
+          Alcotest.test_case "release (buffered store)" `Quick
+            test_release_footprint_and_buffer;
+          Alcotest.test_case "spin load" `Quick test_spin_load_footprint;
+        ] );
+      ( "confinement",
+        [
+          Alcotest.test_case "client load aborts" `Quick
+            test_confinement_client_load_aborts;
+          Alcotest.test_case "object code allowed" `Quick
+            test_object_code_may_touch_lock_word;
+          Alcotest.test_case "conflicting accesses exist" `Quick
+            test_release_conflicts_with_spin;
+        ] );
+      ( "fence",
+        [
+          Alcotest.test_case "fenced release drains first" `Quick
+            test_fenced_release_blocks_until_drained;
+        ] );
+    ]
