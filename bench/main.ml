@@ -46,6 +46,9 @@ let json_diag : (string * float * float * float) list ref = ref []
    min switches, attempts) *)
 let json_shrink : (string * int * int * int * int * int) list ref = ref []
 
+(* link section: (case, ns, verdicts, cached verdicts, checker steps) *)
+let json_link : (string * float * int * int * int) list ref = ref []
+
 let record_worlds ~program ~engine worlds =
   json_worlds := (program, engine, worlds) :: !json_worlds
 
@@ -110,6 +113,16 @@ let write_json path =
          \"orig_switches\": %d, \"min_switches\": %d, \"attempts\": %d}"
         (json_escape program) os ms osw msw att)
     (List.rev !json_shrink);
+  pr "\n  ],\n  \"link\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (case, ns, verdicts, cached, steps) ->
+      sep first;
+      pr
+        "    {\"case\": \"%s\", \"ns_per_link\": %.2f, \"verdicts\": %d, \
+         \"cached_verdicts\": %d, \"checker_steps\": %d}"
+        (json_escape case) ns verdicts cached steps)
+    (List.rev !json_link);
   pr "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "@.json results written to %s@." path
@@ -671,6 +684,70 @@ let diag () =
     worlds
 
 (* ------------------------------------------------------------------ *)
+(* link: certified object files, cold vs incremental relink, --jobs     *)
+(* ------------------------------------------------------------------ *)
+
+let link_section () =
+  Fmt.pr "@.=== LINK — certifying linker & incremental relink ===@.";
+  let open Cas_link in
+  Cas_compiler.Cache.set_default_dir None;
+  Cas_compiler.Cache.clear_memory ();
+  let objs =
+    List.map
+      (fun (name, source) ->
+        match Objfile.build ~name ~source () with
+        | Ok o -> o
+        | Error e -> Fmt.failwith "build %s: %s" name e)
+      Corpus.link_module_srcs
+  in
+  let entries = [ "f" ] in
+  let link ~jobs () =
+    match Linker.link ~certify:true ~jobs ~entries objs with
+    | Ok o -> o
+    | Error e -> Fmt.failwith "link: %a" Linker.pp_error e
+  in
+  (* best-of-N minimum, as in the diag section: the link is deterministic
+     and these runs are short enough for GC noise to dominate a mean *)
+  let rounds = 9 in
+  let measure ~case ~jobs ~cold =
+    let best = ref infinity and last = ref None in
+    if not cold then ignore (link ~jobs ());
+    for _ = 1 to rounds do
+      if cold then Cas_compiler.Cache.clear_memory ();
+      let t0 = Unix.gettimeofday () in
+      let o = link ~jobs () in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if dt < !best then best := dt;
+      last := Some o
+    done;
+    let o = Option.get !last in
+    let s = o.Linker.lk_stats in
+    json_benchmarks := ("link:" ^ case, rounds, !best) :: !json_benchmarks;
+    json_link :=
+      (case, !best, s.Linker.l_verdicts, s.Linker.l_cached,
+       s.Linker.l_checker_steps)
+      :: !json_link;
+    Fmt.pr "  %-24s %a   %d verdicts (%d cached), %d checker steps@." case
+      pp_ns !best s.Linker.l_verdicts s.Linker.l_cached
+      s.Linker.l_checker_steps
+  in
+  Fmt.pr "%d objects, entries [%a] (best of %d):@." (List.length objs)
+    Fmt.(list ~sep:comma string)
+    entries rounds;
+  measure ~case:"cold" ~jobs:1 ~cold:true;
+  measure ~case:"incremental" ~jobs:1 ~cold:false;
+  let jobs = max 2 (Cas_base.Pool.default_jobs ()) in
+  measure ~case:(Fmt.str "cold-jobs-%d" jobs) ~jobs ~cold:true;
+  (* an incremental relink must re-verify nothing *)
+  (match List.assoc_opt "incremental" (List.rev_map (fun (c, _, v, ca, st) -> (c, (v, ca, st))) !json_link) with
+  | Some (v, cached, steps) when cached = v && steps = 0 -> ()
+  | Some (v, cached, steps) ->
+    Fmt.failwith
+      "incremental relink re-verified: %d/%d cached, %d checker steps" cached
+      v steps
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -699,6 +776,7 @@ let () =
       ("fig3", fig3);
       ("compile", compile_section);
       ("diag", diag);
+      ("link", link_section);
     ]
   in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";

@@ -2,10 +2,18 @@
 
     Subcommands:
     - [compile FILE]: compile a mini-C module, print requested IRs;
+    - [build FILE -o M.cao]: compile one module into a certified object
+      file — code, symbol tables, and the digest-chained certificate of
+      its per-pass simulations ([Cas_link.Objfile]);
+    - [link M.cao N.cao -o prog.cai [--certify] [--jobs N]]: resolve
+      symbols and link certified objects into an image, composing the
+      per-module certificates by checking the linking lemma's premises
+      (Lem. 6); incremental — unchanged objects re-certify from cache;
     - [run FILE --entry f [--entry g] [--lock]]: run a program under the
       preemptive SC semantics (entries become threads; [--lock] links the
       γ_lock object so clients can call lock/unlock);
-    - [drf FILE ...]: run the race predictor;
+    - [drf FILE ...]: run the race predictor (FILE may be a linked
+      [.cai] image);
     - [check FILE ...]: execute the full Fig. 2 framework pipeline;
     - [sim FILE --entry f]: per-pass footprint-preserving simulation;
     - [tso FILE ...]: compile and run against the TTAS spin lock on the
@@ -163,6 +171,33 @@ let compile_cmd =
           (function f, Ok c -> Some (f, c) | _, Error _ -> None)
           parsed
       in
+      (* linking the units later would shadow one definition silently, so
+         a cross-unit duplicate is a hard error here, with both files
+         named (the same check the linker does on .cao exports) *)
+      let duplicate =
+        let seen = Hashtbl.create 16 in
+        List.fold_left
+          (fun acc (file, c) ->
+            List.fold_left
+              (fun acc (name, _) ->
+                match Hashtbl.find_opt seen name with
+                | Some first -> (
+                  match acc with
+                  | None -> Some (name, first, file)
+                  | some -> some)
+                | None ->
+                  Hashtbl.add seen name file;
+                  acc)
+              acc
+              (Lang.defs (Lang.Mod (Clight.lang, c))))
+          None units
+      in
+      match duplicate with
+      | Some (sym, file1, file2) ->
+        Fmt.epr "error: duplicate definition of %s: defined by both %s and %s@."
+          sym file1 file2;
+        1
+      | None ->
       let results =
         Cas_compiler.Driver.compile_all ~cache:use_cache ~jobs
           (List.map snd units)
@@ -263,6 +298,177 @@ let compile_cmd =
     Term.(
       const run $ files_arg $ ir_arg $ stats_arg $ jobs_arg $ certify_arg
       $ cache_dir_arg $ no_cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* build / link (certified object files, Cas_link)                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string ".casc-cache"
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:"certificate-cache directory (persists across invocations)")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"disable the certificate cache entirely")
+
+let build_cmd =
+  let run file out name no_opt cache_dir no_cache =
+    let use_cache = not no_cache in
+    if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Filename.remove_extension (Filename.basename file)
+    in
+    let out =
+      Option.value ~default:(name ^ Cas_link.Objfile.extension) out
+    in
+    match read_file file with
+    | exception Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | source -> (
+      let options = { Cas_compiler.Pass.optimize = not no_opt } in
+      match
+        Cas_link.Objfile.build ~options ~cache:use_cache ~name ~source ()
+      with
+      | Error e ->
+        Fmt.epr "error: %a@." Fmt.lines e;
+        2
+      | Ok o ->
+        Cas_link.Objfile.save o ~file:out;
+        Fmt.pr "%s: %d export%s, %d import%s, %d verdicts, body %s@." out
+          (List.length o.Cas_link.Objfile.o_exports)
+          (if List.length o.Cas_link.Objfile.o_exports = 1 then "" else "s")
+          (List.length o.Cas_link.Objfile.o_imports)
+          (if List.length o.Cas_link.Objfile.o_imports = 1 then "" else "s")
+          (List.length o.Cas_link.Objfile.o_cert.Cas_link.Cert.verdicts)
+          o.Cas_link.Objfile.o_body_digest;
+        0)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"output object file (default: $(i,MODULE).cao)")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"MODULE"
+          ~doc:"module name recorded in the object (default: FILE basename)")
+  in
+  let no_opt_arg =
+    Arg.(
+      value & flag
+      & info [ "no-opt" ] ~doc:"disable the optional optimization passes")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "compile one mini-C module into a certified object file (.cao): \
+          code, symbol tables, and the digest-chained certificate of its \
+          per-pass footprint-preserving simulations")
+    Term.(
+      const run $ file_arg $ out_arg $ name_arg $ no_opt_arg $ cache_dir_arg
+      $ no_cache_arg)
+
+let link_cmd =
+  let run objs out entries certify jobs stats cache_dir no_cache =
+    let use_cache = not no_cache in
+    if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
+    let jobs = Option.value ~default:1 jobs in
+    match Cas_link.Linker.link_files ~jobs ~certify ~entries objs with
+    | Error (Cas_link.Linker.Certify_failed _ as e) ->
+      Fmt.epr "error: %a@." Cas_link.Linker.pp_error e;
+      2
+    | Error e ->
+      Fmt.epr "error: %a@." Cas_link.Linker.pp_error e;
+      1
+    | Ok o ->
+      Cas_link.Image.save o.Cas_link.Linker.lk_image ~file:out;
+      Option.iter
+        (fun r -> Fmt.pr "%a@." Cascompcert.Framework.pp_compose r)
+        o.Cas_link.Linker.lk_compose;
+      if stats then begin
+        Fmt.pr "link: %a@." Cas_link.Linker.pp_stats
+          o.Cas_link.Linker.lk_stats;
+        List.iter
+          (fun s -> Fmt.pr "  %a@." Cas_compiler.Cache.pp_stats s)
+          (Cas_compiler.Cache.global_stats ())
+      end;
+      Fmt.pr "wrote %s (image %s%s)@." out
+        o.Cas_link.Linker.lk_image.Cas_link.Image.i_digest
+        (if o.Cas_link.Linker.lk_image.Cas_link.Image.i_certified then
+           ", certified"
+         else "");
+      0
+  in
+  let objs_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"OBJ" ~doc:"certified object files (.cao)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string ("prog" ^ Cas_link.Image.extension)
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"output image file")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "compose the per-module certificates into a whole-program \
+             certificate: re-validate each module's simulation (cached by \
+             object digest), check footprint confinement to freelists, and \
+             co-execute the linked source and target at the boundary \
+             (Lem. 6)")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"print linker and certificate-cache statistics")
+  in
+  Cmd.v
+    (Cmd.info "link"
+       ~doc:
+         "resolve symbols across certified objects and link them into an \
+          image (.cai), optionally composing their certificates")
+    Term.(
+      const run $ objs_arg $ out_arg $ entries_arg $ certify_arg $ jobs_arg
+      $ stats_arg $ cache_dir_arg $ no_cache_arg)
+
+(* A file argument that may be a linked image instead of source. *)
+let is_image file = Filename.check_suffix file Cas_link.Image.extension
+
+(** The program of a linked image, with [entries] defaulting to the ones
+    recorded at link time (the CLI default ["main"] is overridden). *)
+let image_prog (img : Cas_link.Image.t) ~entries ~with_lock =
+  let entries =
+    if entries = [ "main" ] && img.Cas_link.Image.i_entries <> [] then
+      img.Cas_link.Image.i_entries
+    else entries
+  in
+  let mods =
+    List.map
+      (fun (m : Cas_link.Image.linked_module) ->
+        Lang.Mod (Asm.lang, m.Cas_link.Image.lm_asm))
+      img.Cas_link.Image.i_modules
+  in
+  let mods =
+    if with_lock then mods @ [ Lang.Mod (Cimp.lang, Cimp.gamma_lock ()) ]
+    else mods
+  in
+  (Lang.prog mods entries, entries)
 
 (* ------------------------------------------------------------------ *)
 (* run / drf                                                            *)
@@ -369,6 +575,29 @@ let run_cmd =
 
 let drf_cmd =
   let run file entries with_lock engine jobs witness =
+    if is_image file then
+      match Cas_link.Image.load ~file with
+      | Error e ->
+        Fmt.epr "error: %s: %s@." file e;
+        1
+      | Ok img -> (
+        if witness <> None then
+          Fmt.epr
+            "warning: witness capture needs the source program and is not \
+             supported for linked images@.";
+        let p, _ = image_prog img ~entries ~with_lock in
+        match World.load p ~args:[] with
+        | Error e ->
+          Fmt.epr "load error: %a@." World.pp_load_error e;
+          1
+        | Ok w ->
+          let r = Race.drf ~engine ?jobs w in
+          Fmt.pr "%a@." Race.pp_drf_report r;
+          Option.iter
+            (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
+            r.Race.engine_stats;
+          if r.Race.drf then 0 else 2)
+    else
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -454,8 +683,43 @@ let sim_cmd =
        ~doc:"check the footprint-preserving simulation for every pass")
     Term.(const run $ file_arg)
 
+let tso_run_machine ~clients ~entries ~engine ~jobs : int =
+  match Cas_tso.Tso.load (clients @ [ Cas_tso.Locks.pi_lock ]) entries with
+  | Error e ->
+    Fmt.epr "load error: %a@." World.pp_load_error e;
+    1
+  | Ok w ->
+    let tr, st = Cas_tso.Tso.mc_traces ~engine ?jobs w in
+    Fmt.pr "x86-TSO traces (with the TTAS spin lock):@.%a@."
+      Explore.TraceSet.pp tr.Explore.traces;
+    if engine <> Engine.Naive then Fmt.pr "engine: %a@." Cas_mc.Stats.pp st;
+    let g =
+      Cas_tso.Objsim.check_drf_guarantee ~engine ?jobs ~clients
+        ~pi:Cas_tso.Locks.pi_lock ~gamma:(Cimp.gamma_lock ()) ~entries ()
+    in
+    Fmt.pr "Lemma 16: %a@." Cas_tso.Objsim.pp_guarantee g;
+    if g.Cas_tso.Objsim.holds then 0 else 2
+
 let tso_cmd =
   let run file entries engine jobs witness =
+    if is_image file then
+      match Cas_link.Image.load ~file with
+      | Error e ->
+        Fmt.epr "error: %s: %s@." file e;
+        1
+      | Ok img ->
+        if witness <> None then
+          Fmt.epr
+            "warning: witness capture needs the source program and is not \
+             supported for linked images@.";
+        let entries =
+          if entries = [ "main" ] && img.Cas_link.Image.i_entries <> [] then
+            img.Cas_link.Image.i_entries
+          else entries
+        in
+        tso_run_machine ~clients:(Cas_link.Image.asm_modules img) ~entries
+          ~engine ~jobs
+    else
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -711,6 +975,8 @@ let () =
        (Cmd.group info
           [
             compile_cmd;
+            build_cmd;
+            link_cmd;
             run_cmd;
             drf_cmd;
             check_cmd;

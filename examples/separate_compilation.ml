@@ -1,12 +1,16 @@
-(** Separate compilation and cross-language linking — the example (2.1)
-    from the paper's introduction. Module f calls the external function g
-    with the address of a stack variable; the two modules are compiled
-    *independently* and linked at the target.
+(** Certified separate compilation — the example (2.1) from the paper's
+    introduction, end to end through the certified linker. Module f calls
+    the external function g with the address of a stack variable; the two
+    modules are compiled *independently* into certified object files
+    (.cao: code + symbol tables + the digest-chained certificate of every
+    pass's footprint-preserving simulation), then linked into an image
+    whose whole-program certificate is composed by checking the linking
+    lemma's premises (Lem. 6).
 
-    The demo also shows what Compositional CompCert's example warns
-    about: the compiler of f may not assume that b is still 0 when g
-    returns — our simulation checker rejects a 'compiler' that caches b
-    across the call.
+    The demo also shows the incremental half of the story — relinking
+    with unchanged objects re-certifies from the certificate cache with
+    zero checker steps — and the tamper story: flip one byte of an
+    object's body or certificate and the linker refuses it.
 
     Run with: dune exec examples/separate_compilation.exe *)
 
@@ -35,125 +39,124 @@ let g_src =
   }
 |}
 
+let dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "casc_sep_demo" in
+  (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  d
+
+let path name = Filename.concat dir name
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    Fmt.epr "error: %s@." e;
+    exit 1
+
 let () =
-  let m_f = Parse.clight f_src in
-  let m_g = Parse.clight g_src in
-
-  Fmt.pr "== Compile the two modules independently ==@.";
-  let asm_f = Cas_compiler.Driver.compile m_f in
-  let asm_g = Cas_compiler.Driver.compile m_g in
-
-  (* certified separate compilation, content-addressed: each unit's pass
-     outputs and simulation verdicts are memoized under H(pipeline
-     version, options, source unit, pass) — recompiling an unchanged
-     module is pure cache hits, and touching one module invalidates only
-     its own certificates *)
-  Fmt.pr "== The certificate cache ==@.";
-  let count_cache (c : Cas_compiler.Driver.compiled) =
-    List.fold_left
-      (fun (h, m) st ->
-        match st.Cas_compiler.Driver.st_cache with
-        | `Hit -> (h + 1, m)
-        | `Miss -> (h, m + 1)
-        | `Off -> (h, m))
-      (0, 0) c.Cas_compiler.Driver.c_stats
+  Fmt.pr "== Build two certified object files, independently ==@.";
+  let build name source =
+    let o = or_die (Cas_link.Objfile.build ~name ~source ()) in
+    let file = path (name ^ Cas_link.Objfile.extension) in
+    Cas_link.Objfile.save o ~file;
+    Fmt.pr "  %s: exports [%a], imports [%a]@.    body %s@.    cert %s@." file
+      Fmt.(list ~sep:comma Cas_link.Objfile.pp_sym)
+      o.Cas_link.Objfile.o_exports
+      Fmt.(list ~sep:comma Cas_link.Objfile.pp_sym)
+      o.Cas_link.Objfile.o_imports o.Cas_link.Objfile.o_body_digest
+      o.Cas_link.Objfile.o_cert.Cas_link.Cert.chain;
+    file
   in
-  let show name cs =
-    List.iteri
-      (fun i c ->
-        let h, m = count_cache c in
-        Fmt.pr "  %s, module %d: %d hits / %d misses, asm hash %s@." name i h
-          m
-          (String.sub c.Cas_compiler.Driver.c_asm_digest 0 12))
-      cs
-  in
-  show "cold build " (Cas_compiler.Driver.compile_all [ m_f; m_g ]);
-  show "rebuild    " (Cas_compiler.Driver.compile_all [ m_f; m_g ]);
-  let m_g' =
-    Parse.clight {|
-  // Module S2, edited
-  void g(int p) {
-    *p = 4;
-  }
-|}
-  in
-  show "touch g    " (Cas_compiler.Driver.compile_all [ m_f; m_g' ]);
-  Fmt.pr "  (only the edited module misses: f's certificates are reused)@.@.";
-  Fmt.pr "compiled f:@.%a@.@." Fmt.(list ~sep:cut Asm.pp_func) asm_f.Asm.funcs;
-  Fmt.pr "compiled g:@.%a@.@." Fmt.(list ~sep:cut Asm.pp_func) asm_g.Asm.funcs;
+  let f_cao = build "f" f_src in
+  let g_cao = build "g" g_src in
 
-  Fmt.pr "== Link and run: all four combinations ==@.";
-  let run name mods =
-    match World.load (Lang.prog mods [ "f" ]) ~args:[] with
-    | Error e -> Fmt.pr "%-22s: load error %a@." name World.pp_load_error e
-    | Ok w ->
-      let tr = Explore.traces Preemptive.steps [ w ] in
-      Fmt.pr "%-22s: %a@." name Explore.TraceSet.pp tr.Explore.traces
+  Fmt.pr "@.== Link them, composing the certificates (Lem. 6) ==@.";
+  let link () =
+    or_die
+      (Result.map_error
+         (Fmt.str "%a" Cas_link.Linker.pp_error)
+         (Cas_link.Linker.link_files ~certify:true ~entries:[ "f" ]
+            [ f_cao; g_cao ]))
   in
-  run "source f + source g"
-    [ Lang.Mod (Clight.lang, m_f); Lang.Mod (Clight.lang, m_g) ];
-  run "target f + source g"
-    [ Lang.Mod (Asm.lang, asm_f); Lang.Mod (Clight.lang, m_g) ];
-  run "source f + target g"
-    [ Lang.Mod (Clight.lang, m_f); Lang.Mod (Asm.lang, asm_g) ];
-  run "target f + target g"
-    [ Lang.Mod (Asm.lang, asm_f); Lang.Mod (Asm.lang, asm_g) ];
+  let out = link () in
+  Option.iter
+    (fun r -> Fmt.pr "%a@." Cascompcert.Framework.pp_compose r)
+    out.Cas_link.Linker.lk_compose;
+  Fmt.pr "  %a@." Cas_link.Linker.pp_stats out.Cas_link.Linker.lk_stats;
+  let img = out.Cas_link.Linker.lk_image in
+  let img_file = path ("prog" ^ Cas_link.Image.extension) in
+  Cas_link.Image.save img ~file:img_file;
+  Fmt.pr "  image %s@." img.Cas_link.Image.i_digest;
 
-  Fmt.pr "@.== Module-local simulations (Def. 2) ==@.";
-  let sim name src tgt entry args =
-    let o = Cascompcert.Simulation.check ~src ~tgt ~entry ~args () in
-    Fmt.pr "  %-3s: %a@." name Cascompcert.Simulation.pp_outcome o
+  (* relinking with both objects unchanged: every module verdict comes
+     back from the certificate cache, zero checker steps — the paper's
+     per-module proof reuse, executable *)
+  Fmt.pr "@.== Relink, incrementally ==@.";
+  let again = link () in
+  Fmt.pr "  %a@." Cas_link.Linker.pp_stats again.Cas_link.Linker.lk_stats;
+  assert (
+    Cas_link.Image.(again.Cas_link.Linker.lk_image.i_digest = img.i_digest));
+  Fmt.pr "  (same image digest; link order is canonical, objects cached)@.";
+
+  Fmt.pr "@.== Run the linked image ==@.";
+  (match World.load (Cas_link.Image.to_prog img) ~args:[] with
+  | Error e -> Fmt.pr "  load error %a@." World.pp_load_error e
+  | Ok w ->
+    let tr = Explore.traces Preemptive.steps [ w ] in
+    Fmt.pr "  observable traces: %a@." Explore.TraceSet.pp tr.Explore.traces);
+
+  Fmt.pr "@.== Tampering is detected ==@.";
+  let tamper name tweak =
+    let s =
+      let ic = open_in_bin f_cao in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Cas_link.Objfile.of_string (tweak s) with
+    | Ok _ -> Fmt.pr "  %s: NOT detected (bug!)@." name
+    | Error e -> Fmt.pr "  %s rejected:@.    %s@." name e
   in
-  sim "f" (Clight.lang, m_f) (Asm.lang, asm_f) "f" [];
-  (* g's pointer argument: hand it the address of a fresh scratch global
-     by driving it via the whole-program run above; here we drive it with
-     an integer-shaped run instead *)
-  Fmt.pr "  (g is exercised through the linked runs above)@.";
+  (* naive first-occurrence substring replace *)
+  let replace_once ~sub ~by s =
+    let ls = String.length s and lsub = String.length sub in
+    let rec find i =
+      if i + lsub > ls then None
+      else if String.sub s i lsub = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + lsub) (ls - i - lsub)
+  in
+  tamper "flipped byte in the code body"
+    (replace_once ~sub:"\"arity\": 1" ~by:"\"arity\": 2");
+  tamper "flipped verdict in the certificate"
+    (replace_once ~sub:"\"tag\": \"ok\"" ~by:"\"tag\": \"no\"");
 
+  (* the §2.2 trap still holds at the source level: a 'compiler' that
+     caches a shared global across an external call is rejected by the
+     module-local simulation (the callee may write it — the Rely) *)
   Fmt.pr "@.== A bad compiler is rejected ==@.";
-  (* 'optimizes' f by assuming b == 0 after the call — the §2.2 trap.
-     Note: b is stack-allocated and its pointer escapes to another module,
-     which the paper's module-local simulation excludes (footnote 6:
-     cross-module stack-pointer escape is out of scope). So the
-     *module-local* checker cannot see this bug — but the *whole-program*
-     refinement does. *)
-  let bad_f =
+  let src_h =
     Parse.clight
-      {|
-      void f() {
-        int a;
-        int b;
-        a = 0;
-        b = 0;
-        g(&b);
-        print(0);   // "optimized" a + b assuming b is still 0
-      }
-    |}
-  in
-  let linked m = [ Lang.Mod (Clight.lang, m); Lang.Mod (Clight.lang, m_g) ] in
-  let traces m =
-    match World.load (Lang.prog (linked m) [ "f" ]) ~args:[] with
-    | Error _ -> { Explore.traces = Explore.TraceSet.empty; complete = false }
-    | Ok w -> Explore.traces Preemptive.steps [ w ]
-  in
-  let r = Refine.refines ~lhs:(traces bad_f) ~rhs:(traces m_f) in
-  Fmt.pr "  linked bad_f + g ⊑ linked f + g: %a@." Refine.pp_report r;
-  (* For *shared globals*, the module-local checker does reject caching:
-     the callee may write the global during the call (Rely). *)
-  let src_g = Parse.clight
-    {| int shared = 0;
+      {| int shared = 0;
        void h() { int a; int b; a = shared; k(); b = shared; print(a + b); } |}
   in
-  let bad_g = Parse.clight
-    {| int shared = 0;
+  let bad_h =
+    Parse.clight
+      {| int shared = 0;
        void h() { int a; int b; a = shared; k(); b = a; print(a + b); } |}
   in
   let env i =
-    { Cascompcert.Simulation.ret = Value.Vint 0; perturb = Some ("shared", 0, 9 + i) }
+    {
+      Cascompcert.Simulation.ret = Value.Vint 0;
+      perturb = Some ("shared", 0, 9 + i);
+    }
   in
   let o =
-    Cascompcert.Simulation.check ~src:(Clight.lang, src_g)
-      ~tgt:(Clight.lang, bad_g) ~entry:"h" ~args:[] ~env ()
+    Cascompcert.Simulation.check ~src:(Clight.lang, src_h)
+      ~tgt:(Clight.lang, bad_h) ~entry:"h" ~args:[] ~env ()
   in
-  Fmt.pr "  caching a *global* across a call: %a@."
+  Fmt.pr "  caching a global across a call: %a@."
     Cascompcert.Simulation.pp_outcome o

@@ -26,6 +26,11 @@ type ('code, 'core) t = {
   pp_core : Format.formatter -> 'core -> unit;
   globals_of : 'code -> Genv.gvar list;
       (** the ge declared by a module of this language *)
+  defs_of : 'code -> (string * int) list;
+      (** the function symbols a module *defines*, with their arities —
+          the export table of the module. [Load] uses it to reject
+          duplicate definitions across modules, and the linker
+          ([Cas_link]) to build symbol tables. *)
 }
 
 (** A module of the program: a language paired with code in it — the
@@ -56,3 +61,25 @@ let resolve ~genv (modules : modu list) ~entry ~args : xcore option =
 
 let link_genv (p : prog) =
   Genv.link (List.map (fun (Mod (l, code)) -> l.globals_of code) p.modules)
+
+(** Function symbols defined by a packed module. *)
+let defs (Mod (l, code)) = l.defs_of code
+
+(** First function symbol defined by more than one module, if any. The
+    Load rule rejects such programs: a cross-module call would silently
+    resolve to whichever module happens to come first. *)
+let duplicate_def (modules : modu list) : string option =
+  let seen = Hashtbl.create 16 in
+  List.find_map
+    (fun m ->
+      (* a module defining the same name twice is equally a duplicate,
+         so walk the defs one by one rather than per-module sets *)
+      List.find_map
+        (fun (name, _) ->
+          if Hashtbl.mem seen name then Some name
+          else begin
+            Hashtbl.add seen name ();
+            None
+          end)
+        (defs m))
+    modules

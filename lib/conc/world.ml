@@ -37,17 +37,25 @@ let pp_gmsg ppf = function
 
 type load_error =
   | Incompatible_globals of string
+  | Duplicate_fundef of string
+      (** a function symbol defined by more than one module: resolution
+          would silently pick one definition, so Load rejects it *)
   | Unresolved_entry of string
   | Not_closed
 
 let pp_load_error ppf = function
   | Incompatible_globals n -> Fmt.pf ppf "incompatible declarations of %s" n
+  | Duplicate_fundef f ->
+    Fmt.pf ppf "duplicate definition of function %s across modules" f
   | Unresolved_entry f -> Fmt.pf ppf "unresolved entry %s" f
   | Not_closed -> Fmt.string ppf "initial memory is not closed"
 
 (** The Load rule: link global environments, initialize memory, check
     closedness, partition the freelists, and create one core per entry. *)
 let load (p : Lang.prog) ~(args : Value.t list list) : (t, load_error) result =
+  match Lang.duplicate_def p.modules with
+  | Some f -> Error (Duplicate_fundef f)
+  | None ->
   match Lang.link_genv p with
   | Error n -> Error (Incompatible_globals n)
   | Ok genv ->

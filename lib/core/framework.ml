@@ -172,10 +172,10 @@ let verdicts : Simulation.verdict Cas_compiler.Cache.store =
     packed trace of [Driver.compile_unit], so a newly registered pass is
     certified without touching this module. [cache:false] forces
     re-checking. *)
-let check_passes ?env ?max_switches ?tau_bound ?(cache = true)
+let check_passes ?env ?max_switches ?tau_bound ?(cache = true) ?options
     (p : Clight.program) : pass_sim_report list =
   let open Cas_compiler in
-  let c = Driver.compile_unit ~cache p in
+  let c = Driver.compile_unit ?options ~cache p in
   let entries = List.map (fun f -> f.Clight.fname) p.Clight.funcs in
   let entry_arity e =
     match List.find_opt (fun f -> f.Clight.fname = e) p.Clight.funcs with
@@ -235,3 +235,187 @@ let check_passes ?env ?max_switches ?tau_bound ?(cache = true)
     | _ -> []
   in
   per_pass @ whole
+
+(* ------------------------------------------------------------------ *)
+(* Certificate composition at link time (Lem. 6, empirically)          *)
+(* ------------------------------------------------------------------ *)
+
+(** One module's contribution to the whole-program certificate: the
+    end-to-end module-local simulation re-established (or fetched from
+    the certificate cache) against the module's *linked* role. *)
+type compose_module_report = {
+  cm_module : string;  (** module name, e.g. the object file it came from *)
+  cm_entry : string;
+  cm_outcome : Simulation.outcome;
+  cm_cached : bool;
+  cm_steps : int;  (** checker steps executed in *this* run (0 if cached) *)
+}
+
+let pp_compose_module ppf r =
+  Fmt.pf ppf "%-16s %-12s %a%s" r.cm_module r.cm_entry Simulation.pp_outcome
+    r.cm_outcome
+    (if r.cm_cached then " (cached)" else "")
+
+(** The whole-program certificate produced by composing per-module
+    certificates, as the linker checks it. The paper *proves* the linking
+    lemma (Lem. 6): footprint-preserving module-local simulations
+    compose into a whole-program simulation, provided each module's
+    footprint stays confined to its own freelist and the shared globals.
+    We check exactly those premises on the linked program:
+
+    - [comp_modules]: each module's simulation re-validated (or reused
+      from the certificate cache when the object is byte-identical);
+    - [comp_confinement]: every step of every reachable world of the
+      linked target touches only shared globals and the scheduled
+      thread's freelist — the disjointness premise that makes the
+      per-module footprints composable;
+    - [comp_boundary]: the composed simulation itself, re-validated by
+      co-executing the linked source and target programs and comparing
+      their bounded trace sets (target ⊑ source, non-preemptive — the
+      conclusion of Lem. 6 at the link boundary). *)
+type compose_report = {
+  comp_modules : compose_module_report list;
+  comp_confinement : step_report;
+  comp_boundary : step_report;
+  comp_ok : bool;
+}
+
+let pp_compose ppf r =
+  Fmt.pf ppf "@[<v>%a@ %a@ %a@]"
+    Fmt.(list ~sep:cut pp_compose_module)
+    r.comp_modules pp_step r.comp_confinement pp_step r.comp_boundary
+
+(* Memoized link-time module verdicts: keyed by the caller (the linker
+   keys them by object-file content digests), so relinking with an
+   unchanged object re-delivers the verdict with zero checker steps. *)
+let link_verdicts : Simulation.verdict Cas_compiler.Cache.store =
+  Cas_compiler.Cache.store ~name:"LinkVerdict" ()
+
+(** Footprint confinement of the linked program: explore the reachable
+    worlds (preemptive, bounded by [max_worlds]) and verify that every
+    enabled local step's footprint stays inside the shared global blocks
+    plus the scheduled thread's own freelist. *)
+let check_confinement ?(max_worlds = default_bounds.max_worlds)
+    (tgt : Lang.prog) : step_report =
+  let label = "footprints confined to freelists" in
+  match World.load tgt ~args:[] with
+  | Error e ->
+    {
+      id = "conf";
+      label;
+      ok = false;
+      detail = Fmt.str "target loads: %a" World.pp_load_error e;
+    }
+  | Ok w0 ->
+    let nglobals = Genv.block_count w0.World.genv in
+    let violation = ref None in
+    let check_world w =
+      if !violation = None then
+        List.iter
+          (fun tid ->
+            match World.IMap.find_opt tid w.World.threads with
+            | None -> ()
+            | Some t ->
+              List.iter
+                (function
+                  | World.LAbort -> ()
+                  | World.LNext (_, fp, _) ->
+                    let confined =
+                      Addr.Set.for_all
+                        (fun (a : Addr.t) ->
+                          a.Addr.block < nglobals
+                          || Flist.owns_addr t.World.flist a)
+                        (Footprint.locs fp)
+                    in
+                    if (not confined) && !violation = None then
+                      violation := Some (tid, fp))
+                (World.local_steps w tid))
+          (World.live_tids w)
+    in
+    let st =
+      Explore.reachable ~max_worlds Preemptive.steps (Gsem.initials w0)
+        ~visit:check_world
+    in
+    (match !violation with
+    | Some (tid, fp) ->
+      {
+        id = "conf";
+        label;
+        ok = false;
+        detail =
+          Fmt.str "thread %d escapes its freelist: %a" tid Footprint.pp fp;
+      }
+    | None ->
+      {
+        id = "conf";
+        label;
+        ok = true;
+        detail = Fmt.str "%a" Explore.pp_stats st;
+      })
+
+(** Compose per-module certificates into a whole-program certificate on
+    the linked program.
+
+    [modules] pairs each module name with its source and target forms;
+    [entries] are the linked program's thread entry points.
+    [verdict_key], when it returns [Some k] for a module entry, memoizes
+    that module's simulation verdict in the certificate cache under [k]
+    (the linker passes content digests of the object file, making
+    incremental relinks skip re-verification of unchanged modules).
+    [jobs > 1] fans the per-module checks out over OCaml 5 domains. *)
+let compose_certificates ?(bounds = default_bounds) ?max_switches ?tau_bound
+    ?(jobs = 1)
+    ?(verdict_key = fun ~mod_name:_ ~entry:_ -> (None : string option))
+    ~(modules : (string * Lang.modu * Lang.modu) list)
+    ~(entries : string list) () : compose_report =
+  let module_task (name, src_mod, tgt_mod) () : compose_module_report list =
+    match (src_mod, tgt_mod) with
+    | Lang.Mod (sl, sc), Lang.Mod (tl, tc) ->
+      List.map
+        (fun (entry, arity) ->
+          let args = List.init arity (fun i -> Value.Vint (7 + i)) in
+          let run () =
+            Simulation.check_verdict ~src:(sl, sc) ~tgt:(tl, tc) ~entry ~args
+              ?max_switches ?tau_bound ()
+          in
+          let v, hit =
+            match verdict_key ~mod_name:name ~entry with
+            | None -> (run (), `Off)
+            | Some key -> Cas_compiler.Cache.find_or_add link_verdicts key run
+          in
+          let cached = hit = `Hit in
+          {
+            cm_module = name;
+            cm_entry = entry;
+            cm_outcome = v.Simulation.v_outcome;
+            cm_cached = cached;
+            cm_steps = (if cached then 0 else Simulation.verdict_steps v);
+          })
+        (Lang.defs tgt_mod)
+  in
+  let per_module =
+    List.concat (Pool.run ~jobs (List.map module_task modules))
+  in
+  let src_prog = Lang.prog (List.map (fun (_, s, _) -> s) modules) entries in
+  let tgt_prog = Lang.prog (List.map (fun (_, _, t) -> t) modules) entries in
+  let confinement = check_confinement ~max_worlds:bounds.max_worlds tgt_prog in
+  let boundary =
+    let t_np = traces_or_empty bounds Nonpreemptive.steps tgt_prog in
+    let s_np = traces_or_empty bounds Nonpreemptive.steps src_prog in
+    let r = Refine.refines ~lhs:t_np ~rhs:s_np in
+    {
+      id = "link";
+      label = "linked target ⊑ linked source (Lem. 6)";
+      ok = r.Refine.holds;
+      detail = Fmt.str "%a" Refine.pp_report r;
+    }
+  in
+  let modules_ok =
+    List.for_all (fun r -> sim_ok r.cm_outcome) per_module
+  in
+  {
+    comp_modules = per_module;
+    comp_confinement = confinement;
+    comp_boundary = boundary;
+    comp_ok = modules_ok && confinement.ok && boundary.ok;
+  }

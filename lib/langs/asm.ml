@@ -365,4 +365,5 @@ let lang : (program, core) Lang.t =
     fingerprint_core;
     pp_core;
     globals_of = (fun p -> p.globals);
+    defs_of = (fun p -> List.map (fun f -> (f.fname, f.arity)) p.funcs);
   }

@@ -234,6 +234,9 @@ let lang : (program, core) Lang.t =
     fingerprint_core;
     pp_core;
     globals_of = (fun p -> p.globals);
+    defs_of =
+      (fun p ->
+        List.map (fun f -> (f.fname, List.length f.fparams)) p.funcs);
   }
 
 (** The CminorSel instantiation: identical semantics, distinct language

@@ -35,6 +35,11 @@ type load_error = Cas_conc.World.load_error
 
 let load (modules : Asm.program list) (entries : string list) :
     (world, load_error) result =
+  match
+    Lang.duplicate_def (List.map (fun p -> Lang.Mod (Asm.lang, p)) modules)
+  with
+  | Some f -> Error (Cas_conc.World.Duplicate_fundef f)
+  | None ->
   match Genv.link (List.map (fun (p : Asm.program) -> p.Asm.globals) modules) with
   | Error n -> Error (Cas_conc.World.Incompatible_globals n)
   | Ok genv ->

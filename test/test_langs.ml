@@ -470,6 +470,7 @@ let evil_lang ~(mode : [ `Hidden_write | `Hidden_read ]) :
     fingerprint_core = (fun c -> string_of_int c.epc);
     pp_core = (fun ppf c -> Fmt.pf ppf "evil@%d" c.epc);
     globals_of = (fun () -> [ Genv.gvar ~init:[ Genv.Iint 0 ] "e" 1 ]);
+    defs_of = (fun () -> [ ("f", 0) ]);
   }
 
 let run_wd_on_evil mode =
