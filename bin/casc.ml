@@ -55,9 +55,17 @@ let file_arg =
 let entries_arg =
   Arg.(
     value
-    & opt_all string [ "main" ]
+    & opt_all string []
     & info [ "e"; "entry" ] ~docv:"FUNC"
-        ~doc:"entry function; repeat to spawn several threads")
+        ~doc:
+          "entry function; repeat to spawn several threads (default: main, \
+           or the recorded entry points when FILE is a linked .cai image)")
+
+(* [] means --entry was not given; plain source files default to main.
+   Linked images instead fall back to their recorded entries
+   ([image_entries] below) — an explicit --entry main must override
+   those, so the default cannot live in the Arg. *)
+let default_entries = function [] -> [ "main" ] | es -> es
 
 let with_lock_arg =
   Arg.(
@@ -381,6 +389,7 @@ let build_cmd =
 
 let link_cmd =
   let run objs out entries certify jobs stats cache_dir no_cache =
+    let entries = default_entries entries in
     let use_cache = not no_cache in
     if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
     let jobs = Option.value ~default:1 jobs in
@@ -450,14 +459,19 @@ let link_cmd =
 (* A file argument that may be a linked image instead of source. *)
 let is_image file = Filename.check_suffix file Cas_link.Image.extension
 
-(** The program of a linked image, with [entries] defaulting to the ones
-    recorded at link time (the CLI default ["main"] is overridden). *)
+(** Entry points for a linked image: the user's explicit [--entry]s win
+    (even an explicit [--entry main]); with none given, the entries
+    recorded at link time, then ["main"]. *)
+let image_entries (img : Cas_link.Image.t) = function
+  | [] ->
+    if img.Cas_link.Image.i_entries <> [] then img.Cas_link.Image.i_entries
+    else [ "main" ]
+  | es -> es
+
+(** The program of a linked image, with [entries] defaulting as
+    [image_entries] does. *)
 let image_prog (img : Cas_link.Image.t) ~entries ~with_lock =
-  let entries =
-    if entries = [ "main" ] && img.Cas_link.Image.i_entries <> [] then
-      img.Cas_link.Image.i_entries
-    else entries
-  in
+  let entries = image_entries img entries in
   let mods =
     List.map
       (fun (m : Cas_link.Image.linked_module) ->
@@ -549,6 +563,7 @@ let capture_tso_failure w0 (g : Cas_tso.Objsim.guarantee_report) :
 
 let run_cmd =
   let run file entries with_lock compiled =
+    let entries = default_entries entries in
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -598,6 +613,7 @@ let drf_cmd =
             r.Race.engine_stats;
           if r.Race.drf then 0 else 2)
     else
+    let entries = default_entries entries in
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -644,6 +660,7 @@ let drf_cmd =
 
 let check_cmd =
   let run file entries with_lock =
+    let entries = default_entries entries in
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -712,14 +729,11 @@ let tso_cmd =
           Fmt.epr
             "warning: witness capture needs the source program and is not \
              supported for linked images@.";
-        let entries =
-          if entries = [ "main" ] && img.Cas_link.Image.i_entries <> [] then
-            img.Cas_link.Image.i_entries
-          else entries
-        in
+        let entries = image_entries img entries in
         tso_run_machine ~clients:(Cas_link.Image.asm_modules img) ~entries
           ~engine ~jobs
     else
+    let entries = default_entries entries in
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -818,6 +832,7 @@ let shrink_and_save wit ~do_shrink ~out ~trace =
 
 let repro_cmd =
   let run file entries with_lock tso engine jobs seed out do_shrink trace =
+    let entries = default_entries entries in
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;

@@ -361,14 +361,20 @@ let check_confinement ?(max_worlds = default_bounds.max_worlds)
     [verdict_key], when it returns [Some k] for a module entry, memoizes
     that module's simulation verdict in the certificate cache under [k]
     (the linker passes content digests of the object file, making
-    incremental relinks skip re-verification of unchanged modules).
+    incremental relinks skip re-verification of unchanged modules). It
+    receives the module's position in [modules] besides its name: names
+    need not be unique (two objects may carry the same module name with
+    disjoint exports), so a key derived from the name alone could serve
+    one module another's verdict.
     [jobs > 1] fans the per-module checks out over OCaml 5 domains. *)
 let compose_certificates ?(bounds = default_bounds) ?max_switches ?tau_bound
     ?(jobs = 1)
-    ?(verdict_key = fun ~mod_name:_ ~entry:_ -> (None : string option))
+    ?(verdict_key =
+      fun ~mod_index:_ ~mod_name:_ ~entry:_ -> (None : string option))
     ~(modules : (string * Lang.modu * Lang.modu) list)
     ~(entries : string list) () : compose_report =
-  let module_task (name, src_mod, tgt_mod) () : compose_module_report list =
+  let module_task idx (name, src_mod, tgt_mod) () : compose_module_report list
+      =
     match (src_mod, tgt_mod) with
     | Lang.Mod (sl, sc), Lang.Mod (tl, tc) ->
       List.map
@@ -379,7 +385,7 @@ let compose_certificates ?(bounds = default_bounds) ?max_switches ?tau_bound
               ?max_switches ?tau_bound ()
           in
           let v, hit =
-            match verdict_key ~mod_name:name ~entry with
+            match verdict_key ~mod_index:idx ~mod_name:name ~entry with
             | None -> (run (), `Off)
             | Some key -> Cas_compiler.Cache.find_or_add link_verdicts key run
           in
@@ -394,7 +400,7 @@ let compose_certificates ?(bounds = default_bounds) ?max_switches ?tau_bound
         (Lang.defs tgt_mod)
   in
   let per_module =
-    List.concat (Pool.run ~jobs (List.map module_task modules))
+    List.concat (Pool.run ~jobs (List.mapi module_task modules))
   in
   let src_prog = Lang.prog (List.map (fun (_, s, _) -> s) modules) entries in
   let tgt_prog = Lang.prog (List.map (fun (_, _, t) -> t) modules) entries in

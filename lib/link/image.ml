@@ -2,7 +2,8 @@
     compiled code in canonical link order, the thread entry points, and
     the composed whole-program certificate digest when the link was
     certified. Like object files, the body is digest-sealed: [load]
-    recomputes and rejects tampered images. *)
+    recomputes the digest and rejects modified images (corruption
+    evidence, with the same scope and caveats as [Objfile]). *)
 
 open Cas_base
 open Cas_langs
@@ -141,11 +142,17 @@ let of_string (s : string) : (t, string) result =
               tampered or corrupted)"
              img.i_digest recomputed))
 
+(** Written atomically (temp file + [Sys.rename]), like [Objfile.save]:
+    a crash mid-write must not leave a truncated image behind. *)
 let save (img : t) ~(file : string) : unit =
-  let oc = open_out_bin file in
+  let tmp =
+    Fmt.str "%s.tmp.%d.%d" file (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
   output_string oc (to_string img);
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  Sys.rename tmp file
 
 let load ~(file : string) : (t, string) result =
   match

@@ -139,17 +139,25 @@ let link ?bounds ?max_switches ?tau_bound ?(jobs = 1) ?(certify = false)
       match sources [] objs with
       | Error e -> Error e
       | Ok modules ->
-        let verdict_key ~mod_name ~entry =
-          List.find_opt (fun (o : Objfile.t) -> o.o_name = mod_name) objs
-          |> Option.map (fun (o : Objfile.t) ->
-                 Cas_compiler.Cache.digest
-                   ( "link-verdict",
-                     Version.v,
-                     o.o_body_digest,
-                     o.o_cert.Cert.chain,
-                     entry,
-                     max_switches,
-                     tau_bound ))
+        (* [modules] was built from [objs] in order, so the module at
+           position [i] certifies the object at position [i]. Key each
+           verdict by THAT object's digests — a lookup by module name
+           would conflate two same-named objects with disjoint exports
+           and serve one of them the other's (possibly stale) verdict. *)
+        let obj_at = Array.of_list objs in
+        let verdict_key ~mod_index ~mod_name:_ ~entry =
+          if mod_index < 0 || mod_index >= Array.length obj_at then None
+          else
+            let (o : Objfile.t) = obj_at.(mod_index) in
+            Some
+              (Cas_compiler.Cache.digest
+                 ( "link-verdict",
+                   Version.v,
+                   o.o_body_digest,
+                   o.o_cert.Cert.chain,
+                   entry,
+                   max_switches,
+                   tau_bound ))
         in
         let compose =
           Cascompcert.Framework.compose_certificates ?bounds ?max_switches

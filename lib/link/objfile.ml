@@ -8,8 +8,17 @@
     (everything except the digests) is serialized canonically and hashed,
     and the certificate's digest chain is seeded from that body digest
     ([Cert.seed]), so body and certificate seal each other: flip a byte
-    of either and [load] rejects the file. Symbols are stored by name and
-    re-interned ([Genv.Sym]) by the resolver on load. *)
+    of either and [load] rejects the file.
+
+    The seal is *corruption-evident*, not forgery-proof: it is unkeyed
+    content hashing over data the file itself carries, so whoever can
+    rewrite the body can recompute the digests and re-fold the chain.
+    Trusting a [.cao] means trusting the tree that built it; against a
+    forged file the defense is [casc link --certify], which re-runs
+    every check from the recorded source instead of believing the chain.
+
+    Symbols are stored by name and re-interned ([Genv.Sym]) by the
+    resolver on load. *)
 
 open Cas_langs
 module Json = Cas_diag.Json
@@ -222,11 +231,18 @@ let of_string (s : string) : (t, string) result =
     | Error e -> Error e
     | Ok o -> ( match verify o with Ok () -> Ok o | Error e -> Error e))
 
+(** Written atomically (temp file in the target directory, then
+    [Sys.rename], as [Cas_compiler.Cache] does): a crash mid-write must
+    not leave a truncated object at the destination. *)
 let save (o : t) ~(file : string) : unit =
-  let oc = open_out_bin file in
+  let tmp =
+    Fmt.str "%s.tmp.%d.%d" file (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
   output_string oc (to_string o);
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  Sys.rename tmp file
 
 let load ~(file : string) : (t, string) result =
   match

@@ -355,6 +355,30 @@ let test_incremental_relink () =
   check tbool "touching g changes the image digest" true
     (touched.lk_image.Image.i_digest <> cold.lk_image.Image.i_digest)
 
+(* Two objects may carry the same module name with disjoint exports
+   (Resolve allows it; casc build defaults names to file basenames).
+   Verdict caching must key on the object itself, not its name —
+   otherwise changing one of them can be answered with the other's
+   stale cached verdict on relink. *)
+let test_same_name_disjoint_relink () =
+  fresh_cache ();
+  let o_f = build "m" f_src and o_g = build "m" g_src in
+  let cold = link_ok ~certify:true [ o_f; o_g ] in
+  check tint "cold link: no cached verdicts" 0 (cached_count cold);
+  (* touch only the g-carrying object: its verdict must re-run even
+     though an unchanged object with the same module name is linked *)
+  let o_g' = build "m" {| void g(int p) { *p = 4; } |} in
+  let touched = link_ok ~certify:true [ o_f; o_g' ] in
+  match touched.lk_compose with
+  | None -> Alcotest.fail "no compose report"
+  | Some r ->
+    List.iter
+      (fun (m : Cascompcert.Framework.compose_module_report) ->
+        check tbool
+          (Fmt.str "entry %s cached=%b as expected" m.cm_entry m.cm_cached)
+          (m.cm_entry = "f") m.cm_cached)
+      r.Cascompcert.Framework.comp_modules
+
 let test_tampered_object_rejected () =
   fresh_cache ();
   let o_f = build "f" f_src in
@@ -470,6 +494,8 @@ let () =
             test_certified_link_and_image;
           Alcotest.test_case "incremental relink" `Slow
             test_incremental_relink;
+          Alcotest.test_case "same-named objects keyed separately" `Slow
+            test_same_name_disjoint_relink;
           Alcotest.test_case "tampered object rejected" `Quick
             test_tampered_object_rejected;
           Alcotest.test_case "forged certificate rejected" `Quick
