@@ -748,6 +748,266 @@ let link_section () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* hotpath: microbenches of the three exploration inner loops           *)
+(* ------------------------------------------------------------------ *)
+
+(** A representative mid-exploration world: descend a fixed number of
+    scheduler choices from the loaded world so stacks and memory carry
+    real frames, not just the initial cores. *)
+let mid_world w0 ~depth =
+  let sys = Engine.selection_system in
+  let rec go w n =
+    if n = 0 then w
+    else
+      match
+        List.find_map
+          (fun (tr : World.t Cas_mc.Mcsys.trans) ->
+            match tr.Cas_mc.Mcsys.target with
+            | Cas_mc.Mcsys.Next w' -> Some w'
+            | Cas_mc.Mcsys.Abort -> None)
+          (sys.Cas_mc.Mcsys.trans w)
+      with
+      | Some w' -> go w' (n - 1)
+      | None -> w
+  in
+  go w0 depth
+
+let hotpath () =
+  Fmt.pr "@.=== HOTPATH — fingerprint / conflict / store microbenches ===@.";
+  let w0 =
+    match World.load (Corpus.lock_counter_prog ()) ~args:[] with
+    | Ok w -> w
+    | Error _ -> assert false
+  in
+  let w = mid_world w0 ~depth:7 in
+  let sys = Engine.selection_system in
+  let key () = sys.Cas_mc.Mcsys.fingerprint w in
+  let mem = w.World.mem in
+  (* footprints over global cells: one disjoint pair (the summary fast
+     path) and one conflicting pair (the word loop) *)
+  let a b o = Addr.make b o in
+  let d1 =
+    Footprint.union
+      (Footprint.reads [ a 0 0; a 1 0 ])
+      (Footprint.writes [ a 1 0 ])
+  in
+  let d2 =
+    Footprint.union
+      (Footprint.reads [ a 2 0; a 3 0 ])
+      (Footprint.writes [ a 3 0 ])
+  in
+  let d3 =
+    Footprint.union
+      (Footprint.reads [ a 1 0; a 4 0 ])
+      (Footprint.writes [ a 1 0 ])
+  in
+  let store = Cas_mc.Store.create ~capacity:100_000 () in
+  let seen_key = key () in
+  ignore (Cas_mc.Store.add store seen_key);
+  print_timings "hot paths (lock-counter, mid-exploration world)"
+    (run_group ~name:"hotpath"
+       [
+         Test.make ~name:"world-key" (staged key);
+         Test.make ~name:"memory-fingerprint"
+           (staged (fun () -> Memory.fingerprint mem));
+         Test.make ~name:"conflict-disjoint"
+           (staged (fun () -> Footprint.conflict d1 d2));
+         Test.make ~name:"conflict-overlap"
+           (staged (fun () -> Footprint.conflict d1 d3));
+         Test.make ~name:"store-add-seen"
+           (staged (fun () -> Cas_mc.Store.add store seen_key));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* explore: wall-clock exploration over the dpor bench corpus           *)
+(* ------------------------------------------------------------------ *)
+
+(** Wall-clock exploration sections — the numbers the bench-regress CI
+    gate compares against BENCH_BASELINE.json. Best-of-N minimum, as in
+    the diag section: exploration is deterministic and the minimum is
+    the noise-robust estimator. *)
+let explore_section () =
+  Fmt.pr "@.=== EXPLORE — wall-clock exploration (regression-gated) ===@.";
+  let progs =
+    [
+      ("lock-counter", Corpus.lock_counter_prog ());
+      ( "lock-counter-3",
+        Lang.prog
+          [
+            Lang.Mod (Clight.lang, Corpus.counter ());
+            Lang.Mod (Cimp.lang, Corpus.gamma_lock ());
+          ]
+          [ "inc"; "inc"; "inc" ] );
+      ( "prints-3",
+        Lang.prog
+          [
+            Lang.Mod
+              (Clight.lang, Parse.clight {| void f() { print(1); print(2); } |});
+          ]
+          [ "f"; "f"; "f" ] );
+    ]
+  in
+  let rounds = 7 in
+  Fmt.pr "best of %d (wall clock):@." rounds;
+  let measure name f =
+    f ();
+    (* warm up *)
+    Gc.full_major ();
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if dt < !best then best := dt
+    done;
+    json_benchmarks := (name, rounds, !best) :: !json_benchmarks;
+    Fmt.pr "  %-40s %a@." name pp_ns !best
+  in
+  List.iter
+    (fun (pname, p) ->
+      match World.load p ~args:[] with
+      | Error _ -> ()
+      | Ok w ->
+        measure
+          (Fmt.str "explore dpor:%s" pname)
+          (fun () ->
+            ignore
+              (Engine.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
+                 ~visit:(fun _ -> ())));
+        measure
+          (Fmt.str "explore drf-dpor:%s" pname)
+          (fun () -> ignore (Race.drf ~engine:Engine.Dpor w));
+        if pname = "lock-counter-3" then begin
+          measure
+            (Fmt.str "explore dpor-par:%s" pname)
+            (fun () ->
+              ignore
+                (Engine.explore ~engine:Engine.Dpor_par ~max_worlds:400_000 w
+                   ~visit:(fun _ -> ())));
+          measure
+            (Fmt.str "explore naive:%s" pname)
+            (fun () ->
+              ignore
+                (Engine.explore ~engine:Engine.Naive ~max_worlds:400_000 w
+                   ~visit:(fun _ -> ())))
+        end)
+    progs;
+  (* the TSO machine shares Memory and the fingerprint scheme; gate it too *)
+  let client = Cas_compiler.Driver.compile (Corpus.counter ()) in
+  match
+    Cas_tso.Tso.load [ client; Cas_tso.Locks.pi_lock_fenced ] [ "inc"; "inc" ]
+  with
+  | Error _ -> ()
+  | Ok w ->
+    measure "explore tso-dpor:TTAS+fence" (fun () ->
+        ignore
+          (Cas_tso.Tso.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
+             ~visit:(fun _ -> ())));
+    measure "explore tso-naive:TTAS+fence" (fun () ->
+        ignore
+          (Cas_tso.Tso.explore ~engine:Engine.Naive ~max_worlds:400_000 w
+             ~visit:(fun _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* --baseline FILE: regression gate against committed numbers           *)
+(* ------------------------------------------------------------------ *)
+
+(** Extract (name, ns_per_run) rows from a previous [--json] dump. The
+    repo's [Cas_diag.Json] parser is integer-only by design, so this is
+    a line-oriented scan of our own fixed output format. *)
+let read_baseline path : (string * float) list =
+  let ic = open_in path in
+  let rows = ref [] in
+  (* [name] and [ns_per_run] may sit on the same line (our writer) or on
+     separate lines (a reformatted file, e.g. via jq) -- carry the last
+     seen name across lines and pair it with the next ns_per_run *)
+  let pending = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       let find_field key =
+         let pat = Fmt.str "\"%s\": " key in
+         match
+           let plen = String.length pat in
+           let rec at i =
+             if i + plen > String.length line then None
+             else if String.sub line i plen = pat then Some (i + plen)
+             else at (i + 1)
+           in
+           at 0
+         with
+         | None -> None
+         | Some start ->
+           let stop = ref start in
+           while
+             !stop < String.length line
+             && not (List.mem line.[!stop] [ ','; '}'; '\n' ])
+           do
+             incr stop
+           done;
+           Some (String.sub line start (!stop - start))
+       in
+       (match find_field "name" with
+       | Some name when String.length name >= 2 ->
+         (* strip the surrounding quotes of the name *)
+         pending := Some (String.sub name 1 (String.length name - 2))
+       | _ -> ());
+       match (!pending, find_field "ns_per_run") with
+       | Some name, Some ns ->
+         rows := (name, float_of_string (String.trim ns)) :: !rows;
+         pending := None
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+(** Compare the exploration sections of this run against the baseline;
+    fail (exit 1) on any regression beyond the tolerance band. Entries
+    missing on either side are reported but never fail the gate (new
+    benches must be able to land together with their first baseline). *)
+let check_baseline ~path ~tolerance =
+  let base = read_baseline path in
+  let is_explore n = String.length n >= 8 && String.sub n 0 8 = "explore " in
+  (* a baseline that parses to zero exploration entries means the gate
+     would silently pass on anything -- fail loudly instead *)
+  if not (List.exists (fun (n, _) -> is_explore n) base) then begin
+    Fmt.epr "bench-regress: no \"explore\" entries parsed from %s@." path;
+    exit 1
+  end;
+  let current =
+    List.filter (fun (n, _, _) -> is_explore n) (List.rev !json_benchmarks)
+  in
+  Fmt.pr "@.--- baseline comparison (%s, tolerance %.0f%%) ---@." path
+    tolerance;
+  Fmt.pr "  %-40s %11s %11s %8s@." "section" "baseline" "now" "speedup";
+  let regressed = ref [] in
+  List.iter
+    (fun (name, _, now_ns) ->
+      match List.assoc_opt name base with
+      | None -> Fmt.pr "  %-40s %11s %a %8s@." name "(new)" pp_ns now_ns ""
+      | Some base_ns ->
+        let speedup = base_ns /. now_ns in
+        let bad = now_ns > base_ns *. (1. +. (tolerance /. 100.)) in
+        if bad then regressed := name :: !regressed;
+        Fmt.pr "  %-40s %a %a %7.2fx%s@." name pp_ns base_ns pp_ns now_ns
+          speedup
+          (if bad then "  REGRESSION" else ""))
+    current;
+  List.iter
+    (fun (name, _) ->
+      if is_explore name && not (List.exists (fun (n, _, _) -> n = name) current)
+      then Fmt.pr "  %-40s (in baseline, not rerun)@." name)
+    base;
+  if !regressed <> [] then begin
+    Fmt.epr "@.bench-regress: %d section(s) regressed >%.0f%%: %a@."
+      (List.length !regressed) tolerance
+      Fmt.(list ~sep:comma string)
+      !regressed;
+    exit 1
+  end;
+  Fmt.pr "  gate: ok@."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -761,9 +1021,25 @@ let () =
   in
   let only =
     let rec find = function
-      | "--only" :: s :: _ -> Some s
+      | "--only" :: s :: _ -> Some (String.split_on_char ',' s)
       | _ :: rest -> find rest
       | [] -> None
+    in
+    find argv
+  in
+  let baseline =
+    let rec find = function
+      | "--baseline" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let tolerance =
+    let rec find = function
+      | "--tolerance" :: pct :: _ -> float_of_string pct
+      | _ :: rest -> find rest
+      | [] -> 25.
     in
     find argv
   in
@@ -777,19 +1053,25 @@ let () =
       ("compile", compile_section);
       ("diag", diag);
       ("link", link_section);
+      ("hotpath", hotpath);
+      ("explore", explore_section);
     ]
   in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";
   Fmt.pr "(one section per paper figure/table; see EXPERIMENTS.md)@.";
   (match only with
   | None -> List.iter (fun (_, f) -> f ()) sections
-  | Some s -> (
-    match List.assoc_opt s sections with
-    | Some f -> f ()
-    | None ->
-      Fmt.epr "unknown section %S; known: %a@." s
-        Fmt.(list ~sep:comma string)
-        (List.map fst sections);
-      exit 1));
+  | Some names ->
+    List.iter
+      (fun s ->
+        match List.assoc_opt s sections with
+        | Some f -> f ()
+        | None ->
+          Fmt.epr "unknown section %S; known: %a@." s
+            Fmt.(list ~sep:comma string)
+            (List.map fst sections);
+          exit 1)
+      names);
   Option.iter write_json json_path;
+  Option.iter (fun path -> check_baseline ~path ~tolerance) baseline;
   Fmt.pr "@.all benches done.@."
