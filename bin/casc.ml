@@ -109,6 +109,15 @@ let jobs_arg =
            1) and for $(b,compile) per-module builds (default: 1); must be \
            at least 1")
 
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid-fp" ]
+        ~doc:
+          "key explored states by their full fingerprint strings instead of \
+           the fixed-width hash keys (slower; empirically rules out hash \
+           collisions — verdicts and world counts must not change)")
+
 let witness_out_arg =
   Arg.(
     value
@@ -589,7 +598,8 @@ let run_cmd =
     Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ compiled_arg)
 
 let drf_cmd =
-  let run file entries with_lock engine jobs witness =
+  let run file entries with_lock engine jobs witness paranoid =
+    Fpmode.set_paranoid paranoid;
     if is_image file then
       match Cas_link.Image.load ~file with
       | Error e ->
@@ -652,7 +662,7 @@ let drf_cmd =
     (Cmd.info "drf" ~doc:"exhaustive data-race detection (Fig. 9)")
     Term.(
       const run $ file_arg $ entries_arg $ with_lock_arg $ engine_arg
-      $ jobs_arg $ witness_out_arg)
+      $ jobs_arg $ witness_out_arg $ paranoid_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check / sim / tso                                                    *)
@@ -718,7 +728,8 @@ let tso_run_machine ~clients ~entries ~engine ~jobs : int =
     if g.Cas_tso.Objsim.holds then 0 else 2
 
 let tso_cmd =
-  let run file entries engine jobs witness =
+  let run file entries engine jobs witness paranoid =
+    Fpmode.set_paranoid paranoid;
     if is_image file then
       match Cas_link.Image.load ~file with
       | Error e ->
@@ -772,7 +783,7 @@ let tso_cmd =
        ~doc:"run compiled code against the TTAS lock on the x86-TSO machine")
     Term.(
       const run $ file_arg $ entries_arg $ engine_arg $ jobs_arg
-      $ witness_out_arg)
+      $ witness_out_arg $ paranoid_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repro / replay / explain                                             *)

@@ -30,3 +30,41 @@ module Set = struct
 end
 
 module Map = Map.Make (Ord)
+module IntMap = Stdlib.Map.Make (Int)
+
+(** Global address interner: a bijection between addresses and dense ids,
+    so footprints can be word-level bitsets ([Footprint]). The state is an
+    immutable snapshot behind an [Atomic]: reads are lock-free, inserts
+    CAS-retry, so the parallel DPOR domains can intern concurrently. Ids
+    are assigned in first-interning order — stable within a run (which is
+    all bitset comparisons need) but not across runs; anything exported
+    (witnesses, pretty-printing) goes through the address view, never
+    through raw ids. *)
+module Interner = struct
+  type state = { next : int; fwd : int Map.t; bwd : t IntMap.t }
+
+  let state = Atomic.make { next = 0; fwd = Map.empty; bwd = IntMap.empty }
+
+  let rec id (a : t) =
+    let s = Atomic.get state in
+    match Map.find_opt a s.fwd with
+    | Some i -> i
+    | None ->
+      let s' =
+        {
+          next = s.next + 1;
+          fwd = Map.add a s.next s.fwd;
+          bwd = IntMap.add s.next a s.bwd;
+        }
+      in
+      if Atomic.compare_and_set state s s' then s.next else id a
+
+  let find_id (a : t) = Map.find_opt a (Atomic.get state).fwd
+
+  let addr i =
+    match IntMap.find_opt i (Atomic.get state).bwd with
+    | Some a -> a
+    | None -> invalid_arg (Fmt.str "Addr.Interner.addr: unknown id %d" i)
+
+  let size () = (Atomic.get state).next
+end

@@ -1,0 +1,13 @@
+(** Global fingerprint mode for the exploration engines.
+
+    By default world keys are the cheap fixed-width hashes of [Hashx];
+    paranoid mode (the [--paranoid-fp] CLI flag) switches every engine
+    back to the full canonical fingerprint strings, which are
+    collision-free by construction. Diffing the distinct-world counts of
+    the two modes on a workload bounds the hash-collision risk
+    empirically; witnesses always digest the string path regardless of
+    this flag, so recorded witnesses replay identically in either mode. *)
+
+let flag = Atomic.make false
+let set_paranoid b = Atomic.set flag b
+let paranoid () = Atomic.get flag

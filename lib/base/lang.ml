@@ -23,6 +23,11 @@ type ('code, 'core) t = {
       (** resume a core waiting at a [Call] with the callee's return value *)
   fingerprint_core : 'core -> string;
       (** canonical encoding for state-space memoization *)
+  hash_core : Hashx.t -> 'core -> unit;
+      (** stream the same state into a hash accumulator, for the cheap
+          fixed-width world keys; must refine [fingerprint_core] equality.
+          Languages off the exploration hot path use
+          [hash_core_of_fingerprint]. *)
   pp_core : Format.formatter -> 'core -> unit;
   globals_of : 'code -> Genv.gvar list;
       (** the ge declared by a module of this language *)
@@ -43,6 +48,20 @@ type xcore = XCore : ('code, 'core) t * 'core -> xcore
 
 let xcore_fingerprint (XCore (l, c)) = l.name ^ "|" ^ l.fingerprint_core c
 let pp_xcore ppf (XCore (l, c)) = Fmt.pf ppf "%s:%a" l.name l.pp_core c
+
+(** Default [hash_core]: hash the canonical fingerprint string. Correct
+    for every language; the hot ones (CImp, Clight, x86) stream their
+    state directly instead, skipping the string build. *)
+let hash_core_of_fingerprint fingerprint_core st c =
+  Hashx.string st (fingerprint_core c)
+
+(** Two-lane hash of a packed core, in [xcore_fingerprint]'s classes. *)
+let xcore_hash (XCore (l, c)) =
+  let st = Hashx.create () in
+  Hashx.string st l.name;
+  Hashx.char st '|';
+  l.hash_core st c;
+  Hashx.out st
 
 (** A whole program P = let Π in f1 ∥ ... ∥ fn (Fig. 4). *)
 type prog = { modules : modu list; entries : string list }

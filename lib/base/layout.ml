@@ -99,7 +99,9 @@ let convert_fp dir (fp : Footprint.t) : Footprint.t =
         | None -> acc)
       s Addr.Set.empty
   in
-  { Footprint.rs = conv fp.Footprint.rs; ws = conv fp.Footprint.ws }
+  Footprint.make
+    ~rs:(conv (Footprint.rs_set fp))
+    ~ws:(conv (Footprint.ws_set fp))
 
 (** In the CompCert view, allocation takes the next consecutive block;
     check that converting our freelist allocation yields exactly it. This

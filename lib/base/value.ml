@@ -28,6 +28,13 @@ let compare a b =
   | _, Vint _ -> 1
   | Vptr x, Vptr y -> Addr.compare x y
 
+(** Content hash for the incremental memory hash ([Memory]). Tag bits
+    keep the constructors apart; equal values hash equal. *)
+let hash = function
+  | Vundef -> 0
+  | Vint n -> (n lsl 2) lor 1
+  | Vptr a -> (Addr.hash a lsl 2) lor 2
+
 let pp ppf = function
   | Vundef -> Fmt.string ppf "undef"
   | Vint n -> Fmt.int ppf n

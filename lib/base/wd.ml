@@ -15,17 +15,18 @@ let pp_violation ppf v = Fmt.pf ppf "Def.1(%d): %s" v.item v.detail
 
 (* LEqPre(σ1, σ2, δ, F) — Fig. 6. *)
 let leqpre m1 m2 (d : Footprint.t) f =
-  Memory.eq_on d.rs m1 m2
+  let ws = Footprint.ws_set d in
+  Memory.eq_on (Footprint.rs_set d) m1 m2
   && Addr.Set.equal
-       (Addr.Set.filter (fun a -> Addr.Set.mem a d.ws) (Memory.dom m1))
-       (Addr.Set.filter (fun a -> Addr.Set.mem a d.ws) (Memory.dom m2))
+       (Addr.Set.filter (fun a -> Addr.Set.mem a ws) (Memory.dom m1))
+       (Addr.Set.filter (fun a -> Addr.Set.mem a ws) (Memory.dom m2))
   && Addr.Set.equal
        (Addr.Set.filter (Flist.owns_addr f) (Memory.dom m1))
        (Addr.Set.filter (Flist.owns_addr f) (Memory.dom m2))
 
 (* LEqPost(σ1, σ2, δ, F) — Fig. 6. *)
 let leqpost m1 m2 (d : Footprint.t) f =
-  Memory.eq_on d.ws m1 m2
+  Memory.eq_on (Footprint.ws_set d) m1 m2
   && Addr.Set.equal
        (Addr.Set.filter (Flist.owns_addr f) (Memory.dom m1))
        (Addr.Set.filter (Flist.owns_addr f) (Memory.dom m2))

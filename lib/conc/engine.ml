@@ -83,7 +83,7 @@ let atomic_block_fp (w : World.t) tid ~bound : Footprint.t =
     still schedulable. *)
 let selection_system : World.t Cas_mc.Mcsys.t =
   {
-    Cas_mc.Mcsys.fingerprint = World.fingerprint_nocur;
+    Cas_mc.Mcsys.fingerprint = World.key_nocur;
     all_done = World.all_done;
     trans =
       (fun w ->

@@ -124,7 +124,7 @@ let traces_gen ?max_steps ?max_paths (sys : 'w system) (initials : 'w list) :
 
 let world_system (step : Gsem.stepf) : World.t system =
   {
-    fingerprint = World.fingerprint;
+    fingerprint = World.key;
     all_done = World.all_done;
     steps =
       (fun w ->

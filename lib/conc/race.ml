@@ -27,14 +27,17 @@ let atomic_block_fp = Engine.atomic_block_fp
 let predict ?(atomic_bound = 1000) (w : World.t) (tid : int) : prediction list =
   if World.dbit w tid then []
   else
-    List.concat_map
+    (* footprint-only stepping: the predictor never needs the successor
+       worlds except through atomic entry, and it probes every live
+       thread at every visited world *)
+    List.filter_map
       (function
-        | World.LAbort -> []
-        | World.LNext (Msg.EntAtom, fp, w') ->
-          [ (Footprint.union fp (atomic_block_fp w' tid ~bound:atomic_bound), true) ]
-        | World.LNext (_, fp, _) ->
-          if Footprint.is_empty fp then [] else [ (fp, false) ])
-      (World.local_steps w tid)
+        | World.PEnter (fp, w') ->
+          Some
+            (Footprint.union fp (atomic_block_fp w' tid ~bound:atomic_bound), true)
+        | World.PNext fp ->
+          if Footprint.is_empty fp then None else Some (fp, false))
+      (World.local_preds w tid)
 
 (** Region-based prediction for the non-preemptive setting (§5, after
     Xiao et al.'s NP race notion): under non-preemptive scheduling a

@@ -16,6 +16,10 @@ type thread = {
   tid : int;
   flist : Flist.t;
   stack : Lang.xcore list;  (** head = running frame; [] = terminated *)
+  fhashes : (int * int) list;
+      (** memoized [Lang.xcore_hash] of each frame, same order as [stack]:
+          a step rehashes only the frame it replaced, so [key_nocur] never
+          re-reads the unchanged frames or the other threads *)
 }
 
 type t = {
@@ -72,7 +76,14 @@ let load (p : Lang.prog) ~(args : Value.t list list) : (t, load_error) result =
           | None -> Error (Unresolved_entry entry)
           | Some xc ->
             build (tid + 1) es fls argss
-              (IMap.add tid { tid; flist = fl; stack = [ xc ] } acc))
+              (IMap.add tid
+                 {
+                   tid;
+                   flist = fl;
+                   stack = [ xc ];
+                   fhashes = [ Lang.xcore_hash xc ];
+                 }
+                 acc))
         | _ -> assert false
       in
       let args =
@@ -114,6 +125,41 @@ let fingerprint_nocur w =
 
 let fingerprint w = string_of_int w.cur ^ "|" ^ fingerprint_nocur w
 
+(** Cheap fixed-width state keys in the fingerprints' equivalence classes:
+    per-thread memoized frame hashes plus the memory's incremental hash,
+    folded into a 16-byte string. Collisions are ~2^-63 per state pair;
+    [Fpmode.paranoid] falls back to the collision-free strings, and
+    witness digests always use the string path ([Cas_diag]). *)
+let key_stream w =
+  let st = Hashx.create () in
+  IMap.iter
+    (fun tid t ->
+      Hashx.int st tid;
+      Hashx.bool st (dbit w tid);
+      List.iter
+        (fun (h1, h2) ->
+          Hashx.int st h1;
+          Hashx.int st h2)
+        t.fhashes;
+      Hashx.char st ';')
+    w.threads;
+  let mh1, mh2 = Memory.hash w.mem in
+  Hashx.int st mh1;
+  Hashx.int st mh2;
+  st
+
+let key_nocur w =
+  if Fpmode.paranoid () then fingerprint_nocur w
+  else Hashx.key_of (Hashx.out (key_stream w))
+
+let key w =
+  if Fpmode.paranoid () then fingerprint w
+  else begin
+    let st = key_stream w in
+    Hashx.int st w.cur;
+    Hashx.key_of (Hashx.out st)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Local steps of one thread, with call/return linking                 *)
 (* ------------------------------------------------------------------ *)
@@ -128,21 +174,33 @@ type local_succ =
 let set_thread w (t : thread) = { w with threads = IMap.add t.tid t w.threads }
 
 let set_top w (t : thread) (xc : Lang.xcore) =
-  match t.stack with
-  | [] -> invalid_arg "set_top: terminated thread"
-  | _ :: rest -> set_thread w { t with stack = xc :: rest }
+  match (t.stack, t.fhashes) with
+  | [], _ | _, [] -> invalid_arg "set_top: terminated thread"
+  | _ :: rest, _ :: hrest ->
+    set_thread w
+      { t with stack = xc :: rest; fhashes = Lang.xcore_hash xc :: hrest }
 
 (** Pop the top frame of [t], delivering [v] to the caller frame below (or
     terminating the thread). *)
 let pop_frame w (t : thread) (v : Value.t) : t option =
   match t.stack with
   | [] -> None
-  | _ :: [] -> Some (set_thread w { t with stack = [] })
+  | _ :: [] -> Some (set_thread w { t with stack = []; fhashes = [] })
   | _ :: Lang.XCore (l, caller) :: rest -> (
     match l.after_external caller (Some v) with
     | None -> None
     | Some caller' ->
-      Some (set_thread w { t with stack = Lang.XCore (l, caller') :: rest }))
+      let top = Lang.XCore (l, caller') in
+      let hrest =
+        match t.fhashes with _ :: _ :: hs -> hs | _ -> assert false
+      in
+      Some
+        (set_thread w
+           {
+             t with
+             stack = top :: rest;
+             fhashes = Lang.xcore_hash top :: hrest;
+           }))
 
 (** All local successors of thread [tid] in world [w]. Handles the
     built-in [print] external, cross-module calls, tail calls, returns,
@@ -200,7 +258,12 @@ let local_steps (w : t) (tid : int) : local_succ list =
                   LNext
                     ( msg,
                       fp,
-                      set_thread w_top { t' with stack = callee :: t'.stack } )
+                      set_thread w_top
+                        {
+                          t' with
+                          stack = callee :: t'.stack;
+                          fhashes = Lang.xcore_hash callee :: t'.fhashes;
+                        } )
                 | None -> LAbort)
               | Msg.TailCall ("print", [ Value.Vint n ]) -> (
                 (* tail-calling the built-in: the event fires and the
@@ -219,12 +282,72 @@ let local_steps (w : t) (tid : int) : local_succ list =
                   let rest =
                     match t.stack with [] -> [] | _ :: r -> r
                   in
+                  let hrest =
+                    match t.fhashes with [] -> [] | _ :: r -> r
+                  in
                   LNext
                     ( msg,
                       fp,
-                      set_thread w { t with stack = callee :: rest } )
+                      set_thread w
+                        {
+                          t with
+                          stack = callee :: rest;
+                          fhashes = Lang.xcore_hash callee :: hrest;
+                        } )
                 | None -> LAbort)))
           succs)
+
+(** Footprint-only successors, for the race predictor's per-world probe
+    ([Cas_conc.Race.predict]): runs the language step like [local_steps]
+    but skips successor-world construction — the [set_top] frame surgery,
+    frame rehashing, and thread-map updates — everywhere except atomic
+    entry, where Predict-1 needs the successor to accumulate the block's
+    footprint. Abort-bound steps are dropped exactly as the predictor
+    drops [LAbort] (each arm mirrors the corresponding [local_steps]
+    arm's failure condition), so the returned footprints are precisely
+    those of the [LNext] successors [local_steps] would build. *)
+type pred_succ = PNext of Footprint.t | PEnter of Footprint.t * t
+
+let local_preds (w : t) (tid : int) : pred_succ list =
+  match IMap.find_opt tid w.threads with
+  | None -> []
+  | Some t -> (
+    match t.stack with
+    | [] -> []
+    | Lang.XCore (l, core) :: _ ->
+      (* would the [Ret]/tail-print pop succeed? (cf. [pop_frame]) *)
+      let pop_ok v =
+        match t.stack with
+        | [] -> false
+        | [ _ ] -> true
+        | _ :: Lang.XCore (lc, c) :: _ -> lc.after_external c (Some v) <> None
+      in
+      List.filter_map
+        (function
+          | Lang.Stuck_abort -> None
+          | Lang.Next (msg, fp, core', mem') -> (
+            match msg with
+            | Msg.Tau | Msg.Evt _ | Msg.ExtAtom -> Some (PNext fp)
+            | Msg.EntAtom ->
+              let w = { w with mem = mem' } in
+              let w_top = set_top w t (Lang.XCore (l, core')) in
+              Some
+                (PEnter (fp, { w_top with dbits = IMap.add tid true w.dbits }))
+            | Msg.Ret v -> if pop_ok v then Some (PNext fp) else None
+            | Msg.Call ("print", [ Value.Vint _ ]) ->
+              if l.after_external core' None <> None then Some (PNext fp)
+              else None
+            | Msg.Call (f, args) ->
+              if Lang.resolve ~genv:w.genv w.modules ~entry:f ~args <> None
+              then Some (PNext fp)
+              else None
+            | Msg.TailCall ("print", [ Value.Vint _ ]) ->
+              if pop_ok (Value.Vint 0) then Some (PNext fp) else None
+            | Msg.TailCall (f, args) ->
+              if Lang.resolve ~genv:w.genv w.modules ~entry:f ~args <> None
+              then Some (PNext fp)
+              else None))
+        (l.step t.flist core w.mem))
 
 let pp ppf w =
   Fmt.pf ppf "@[<v>cur=%d mem=%a@ %a@]" w.cur

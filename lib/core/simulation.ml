@@ -201,11 +201,11 @@ let check_verdict (type code1 core1 code2 core2)
     in
     let fpmatch (delta : Footprint.t) (d : Footprint.t) =
       (* FPmatch(µ, ∆, δ) with φ = id on S (Fig. 8) *)
-      let s_rs = Addr.Set.inter d.Footprint.rs shared in
-      let s_ws = Addr.Set.inter d.Footprint.ws shared in
+      let s_rs = Addr.Set.inter (Footprint.rs_set d) shared in
+      let s_ws = Addr.Set.inter (Footprint.ws_set d) shared in
       Addr.Set.subset s_rs
-        (Addr.Set.union delta.Footprint.rs delta.Footprint.ws)
-      && Addr.Set.subset s_ws delta.Footprint.ws
+        (Addr.Set.union (Footprint.rs_set delta) (Footprint.ws_set delta))
+      && Addr.Set.subset s_ws (Footprint.ws_set delta)
     in
     let perturb_mem genv mem (g, ofs, v) ~perm =
       match Genv.find_block genv g with

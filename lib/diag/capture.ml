@@ -32,7 +32,16 @@ let race ?(engine = Cas_mc.Engine.Naive) ?jobs ?max_worlds
     (w0 : Cas_conc.World.t) : race_capture =
   let recorder = Cas_mc.Recorder.create () in
   let best = ref None in
-  let sys = Cas_conc.Engine.selection_system in
+  (* witness step digests are [Sem.digest] of the recorder's child keys,
+     so capture must explore under the full fingerprint strings, not the
+     engines' fixed-width hash keys — recorded witnesses stay stable
+     across the key representation *)
+  let sys =
+    {
+      Cas_conc.Engine.selection_system with
+      Cas_mc.Mcsys.fingerprint = Cas_conc.World.fingerprint_nocur;
+    }
+  in
   let st =
     Cas_mc.Engine.reachable ~engine ?jobs ?max_worlds ~recorder sys [ w0 ]
       ~visit:(fun w ->

@@ -50,8 +50,8 @@ let step_of_info (i : info) : Witness.step =
   {
     Witness.s_tid = i.i_tid;
     s_event = i.i_event;
-    s_reads = Addr.Set.elements i.i_fp.Footprint.rs;
-    s_writes = Addr.Set.elements i.i_fp.Footprint.ws;
+    s_reads = Addr.Set.elements (Footprint.rs_set i.i_fp);
+    s_writes = Addr.Set.elements (Footprint.ws_set i.i_fp);
     s_flush = i.i_flush;
     s_dst = i.i_dst;
   }

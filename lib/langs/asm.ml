@@ -355,6 +355,33 @@ let after_external (c : core) (ret : Value.t option) : core option =
 
 let fingerprint_core c = Fmt.str "%a" pp_core c
 
+(* Streamed state hash in [fingerprint_core]'s classes: machine state only
+   (registers, pc, sp, flags, atomic phase) — the code is static per
+   function symbol, so like the printer we identify it by name. Hot under
+   both the SC engine and [Cas_tso.Tso]. *)
+let hash_core st c =
+  Hashx.string st c.fn.fname;
+  Hashx.int st c.pc;
+  (match c.sp with
+  | None -> Hashx.char st '-'
+  | Some b ->
+    Hashx.char st '@';
+    Hashx.int st b);
+  Hashx.int st c.atomphase;
+  Mreg.Map.iter
+    (fun r v ->
+      Hashx.int st (Hashtbl.hash r);
+      Hashx.char st '=';
+      Hashx.int st (Value.hash v))
+    c.regs;
+  (match c.flags with
+  | None -> Hashx.char st '-'
+  | Some (a, b) ->
+    Hashx.char st '?';
+    Hashx.int st (Value.hash a);
+    Hashx.int st (Value.hash b));
+  Hashx.bool st (c.waiting <> None)
+
 (** x86 with SC semantics — the "x86-SC" language of Fig. 3. *)
 let lang : (program, core) Lang.t =
   {
@@ -363,6 +390,7 @@ let lang : (program, core) Lang.t =
     step;
     after_external;
     fingerprint_core;
+    hash_core;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of = (fun p -> List.map (fun f -> (f.fname, f.arity)) p.funcs);

@@ -176,6 +176,95 @@ let init_core ~genv (p : program) ~entry ~args : core option =
 
 let fingerprint_core c = Fmt.str "%a" pp_core c
 
+(* Stream the same state [pp_core] prints — tagged per constructor so the
+   stream is injective on the syntax — without building the string. CImp
+   cores are rehashed on every object-code step of the exploration
+   engines, so this is hot. *)
+let rec hash_expr st = function
+  | Eint n ->
+    Hashx.char st 'i';
+    Hashx.int st n
+  | Evar x ->
+    Hashx.char st 'v';
+    Hashx.string st x
+  | Eglob g ->
+    Hashx.char st 'g';
+    Hashx.string st g
+  | Ebinop (op, a, b) ->
+    Hashx.char st 'b';
+    Hashx.int st (Hashtbl.hash op);
+    hash_expr st a;
+    hash_expr st b
+  | Eunop (op, a) ->
+    Hashx.char st 'u';
+    Hashx.int st (Hashtbl.hash op);
+    hash_expr st a
+
+let rec hash_stmt st = function
+  | Sskip -> Hashx.char st '0'
+  | Sassign (x, e) ->
+    Hashx.char st '1';
+    Hashx.string st x;
+    hash_expr st e
+  | Sload (x, e) ->
+    Hashx.char st '2';
+    Hashx.string st x;
+    hash_expr st e
+  | Sstore (e1, e2) ->
+    Hashx.char st '3';
+    hash_expr st e1;
+    hash_expr st e2
+  | Sseq (a, b) ->
+    Hashx.char st '4';
+    hash_stmt st a;
+    hash_stmt st b
+  | Sif (e, a, b) ->
+    Hashx.char st '5';
+    hash_expr st e;
+    hash_stmt st a;
+    hash_stmt st b
+  | Swhile (e, s) ->
+    Hashx.char st '6';
+    hash_expr st e;
+    hash_stmt st s
+  | Satomic s ->
+    Hashx.char st '7';
+    hash_stmt st s
+  | Sassert e ->
+    Hashx.char st '8';
+    hash_expr st e
+  | Sreturn None -> Hashx.char st '9'
+  | Sreturn (Some e) ->
+    Hashx.char st 'R';
+    hash_expr st e
+
+let rec hash_kont st = function
+  | Kstop -> Hashx.char st '.'
+  | Kseq (s, k) ->
+    Hashx.char st 'S';
+    hash_stmt st s;
+    hash_kont st k
+  | Kwhile (e, s, k) ->
+    Hashx.char st 'W';
+    hash_expr st e;
+    hash_stmt st s;
+    hash_kont st k
+  | Kendatom k ->
+    Hashx.char st '>';
+    hash_kont st k
+
+let hash_core st c =
+  SMap.iter
+    (fun x v ->
+      Hashx.string st x;
+      Hashx.char st '=';
+      Hashx.int st (Value.hash v))
+    c.env;
+  Hashx.char st '|';
+  hash_stmt st c.cur;
+  Hashx.char st '|';
+  hash_kont st c.k
+
 let lang : (program, core) Lang.t =
   {
     name = "CImp";
@@ -183,6 +272,7 @@ let lang : (program, core) Lang.t =
     step;
     after_external = (fun _ _ -> None);
     fingerprint_core;
+    hash_core;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of =

@@ -264,6 +264,120 @@ let after_external (c : core) (ret : Value.t option) : core option =
 
 let fingerprint_core c = Fmt.str "%a" pp_core c
 
+(* Streamed state hash, in [fingerprint_core]'s equivalence classes (so
+   [pending]/[genv] stay out, and [waiting] contributes only its
+   outermost option, exactly as printed). Clight cores are rehashed on
+   every client-code step of the exploration engines. *)
+let rec hash_expr st = function
+  | Econst n ->
+    Hashx.char st 'c';
+    Hashx.int st n
+  | Etemp x ->
+    Hashx.char st 't';
+    Hashx.string st x
+  | Evar x ->
+    Hashx.char st 'v';
+    Hashx.string st x
+  | Eglob x ->
+    Hashx.char st 'g';
+    Hashx.string st x
+  | Eaddrof x ->
+    Hashx.char st '&';
+    Hashx.string st x
+  | Ederef e ->
+    Hashx.char st '*';
+    hash_expr st e
+  | Ebinop (op, a, b) ->
+    Hashx.char st 'b';
+    Hashx.int st (Hashtbl.hash op);
+    hash_expr st a;
+    hash_expr st b
+  | Eunop (op, a) ->
+    Hashx.char st 'u';
+    Hashx.int st (Hashtbl.hash op);
+    hash_expr st a
+
+let hash_lhs st = function
+  | Lvar x ->
+    Hashx.char st 'V';
+    Hashx.string st x
+  | Lglob x ->
+    Hashx.char st 'G';
+    Hashx.string st x
+  | Lderef e ->
+    Hashx.char st 'D';
+    hash_expr st e
+
+let rec hash_stmt st = function
+  | Sskip -> Hashx.char st '0'
+  | Sassign (l, e) ->
+    Hashx.char st '1';
+    hash_lhs st l;
+    hash_expr st e
+  | Sset (x, e) ->
+    Hashx.char st '2';
+    Hashx.string st x;
+    hash_expr st e
+  | Scall (dst, f, args) ->
+    Hashx.char st '3';
+    (match dst with
+    | None -> Hashx.char st '-'
+    | Some x ->
+      Hashx.char st '=';
+      Hashx.string st x);
+    Hashx.string st f;
+    List.iter (hash_expr st) args
+  | Sseq (a, b) ->
+    Hashx.char st '4';
+    hash_stmt st a;
+    hash_stmt st b
+  | Sif (e, a, b) ->
+    Hashx.char st '5';
+    hash_expr st e;
+    hash_stmt st a;
+    hash_stmt st b
+  | Swhile (e, s) ->
+    Hashx.char st '6';
+    hash_expr st e;
+    hash_stmt st s
+  | Sreturn None -> Hashx.char st '7'
+  | Sreturn (Some e) ->
+    Hashx.char st 'R';
+    hash_expr st e
+
+let rec hash_kont st = function
+  | Kstop -> Hashx.char st '.'
+  | Kseq (s, k) ->
+    Hashx.char st 'S';
+    hash_stmt st s;
+    hash_kont st k
+  | Kwhile (e, s, k) ->
+    Hashx.char st 'W';
+    hash_expr st e;
+    hash_stmt st s;
+    hash_kont st k
+
+let hash_core st c =
+  Hashx.string st c.fn.fname;
+  SMap.iter
+    (fun x b ->
+      Hashx.string st x;
+      Hashx.char st '@';
+      Hashx.int st b)
+    c.blocks;
+  Hashx.char st '|';
+  SMap.iter
+    (fun x v ->
+      Hashx.string st x;
+      Hashx.char st '=';
+      Hashx.int st (Value.hash v))
+    c.temps;
+  Hashx.char st '|';
+  hash_stmt st c.cur;
+  Hashx.char st '|';
+  hash_kont st c.k;
+  Hashx.bool st (c.waiting <> None)
+
 let lang : (program, core) Lang.t =
   {
     name = "Clight";
@@ -271,6 +385,7 @@ let lang : (program, core) Lang.t =
     step;
     after_external;
     fingerprint_core;
+    hash_core;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of =

@@ -216,6 +216,7 @@ let lang : (program, core) Lang.t =
     step;
     after_external;
     fingerprint_core;
+    hash_core = Lang.hash_core_of_fingerprint fingerprint_core;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of =

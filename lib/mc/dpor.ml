@@ -75,6 +75,57 @@ let dep_group (g : 'w group) (t : 'w Mcsys.trans) =
   || (g.g_obs && Mcsys.is_obs t)
 
 (* ------------------------------------------------------------------ *)
+(* Transition-group memo                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Sleep-set DPOR revisits a state along many schedule prefixes (the
+    tree is sized by paths, not states), and every visit re-runs
+    [Mcsys.trans] — the semantics — to rebuild the same groups. Groups
+    are immutable once built (frames are separate records), so they are
+    shared across revisits, keyed by the state fingerprint the visitor
+    computed anyway. Sharded like [Store]; bounded by the world
+    capacity — past it revisits fall back to stepping. *)
+module Gcache = struct
+  let shards = 64
+
+  type 'w t = {
+    tbls : (string, 'w group list) Hashtbl.t array;
+    locks : Mutex.t array;
+    count : int Atomic.t;
+    capacity : int;
+  }
+
+  let create ~capacity () =
+    {
+      tbls = Array.init shards (fun _ -> Hashtbl.create 64);
+      locks = Array.init shards (fun _ -> Mutex.create ());
+      count = Atomic.make 0;
+      capacity;
+    }
+
+  let find_or_add t key compute =
+    let i = Hashtbl.hash key land (shards - 1) in
+    let tbl = t.tbls.(i) and lock = t.locks.(i) in
+    Mutex.lock lock;
+    let hit = Hashtbl.find_opt tbl key in
+    Mutex.unlock lock;
+    match hit with
+    | Some gs -> gs
+    | None ->
+      (* compute outside the lock: a racing duplicate is benign *)
+      let gs = compute () in
+      if Atomic.get t.count < t.capacity then begin
+        Mutex.lock lock;
+        if not (Hashtbl.mem tbl key) then begin
+          Hashtbl.add tbl key gs;
+          Atomic.incr t.count
+        end;
+        Mutex.unlock lock
+      end;
+      gs
+end
+
+(* ------------------------------------------------------------------ *)
 (* Sleep sets                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -105,6 +156,7 @@ type 'w state = {
   sys : 'w Mcsys.t;
   cfg : cfg;
   store : Store.t;
+  gcache : 'w Gcache.t;
   recorder : Recorder.t option;
   on_world : 'w -> unit;
   emit : Trace.t -> unit;
@@ -158,7 +210,10 @@ let rec explore (rs : 'w state) ?via path on_path w events sleep depth =
       rs.emit (List.rev events, Trace.SCut)
     end
     else begin
-      let groups = group_by_tid (rs.sys.Mcsys.trans w) in
+      let groups =
+        Gcache.find_or_add rs.gcache wfp (fun () ->
+            group_by_tid (rs.sys.Mcsys.trans w))
+      in
       if groups = [] then rs.emit (List.rev events, Trace.SCut)
       else begin
         (* Backtrack-point computation: for each thread pending here, find
@@ -333,6 +388,7 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg) ?recorder
       sys;
       cfg;
       store;
+      gcache = Gcache.create ~capacity:cfg.max_worlds ();
       recorder;
       on_world;
       emit;

@@ -4,9 +4,23 @@
     Sharding serves the parallel frontier scheduler: each shard carries
     its own lock, so domains insert concurrently with contention only on
     colliding shards. The global capacity is enforced with an atomic
-    counter — the cap is approximate under parallel insertion by at most
-    the number of racing domains, which only affects where truncation is
-    reported, never soundness (truncated results are flagged). *)
+    counter read under only the *shard* lock, so the cap is approximate
+    under parallel insertion — but boundedly so. Precise over-admission
+    bound: with [D] domains racing, at most [capacity + D - 1] keys are
+    ever admitted. Proof sketch: an admission requires observing
+    [count < capacity] before its own [incr]; once some [incr] makes
+    [count = capacity] the counter never decreases, so every admission
+    after that point must have loaded [count] before that [incr]
+    committed — and at most [D - 1] *other* domains can each hold one
+    such stale in-flight load (one insertion per domain at a time, each
+    load is consumed by its own [incr]). Hence over-admission < D, it
+    only affects where truncation is reported, never soundness.
+
+    The [full] flag is *set-only* ([Atomic.set t.full true] on every
+    refusal, no reset path exists), so once any insertion is refused,
+    [truncated] reports [true] forever — concurrent admitting domains
+    cannot lose the flag, which [test/test_mc.ml] hammers with a Pool
+    of racing inserters. *)
 
 type shard = { lock : Mutex.t; tbl : (string, unit) Hashtbl.t }
 

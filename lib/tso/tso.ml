@@ -21,6 +21,9 @@ type thread = {
   flist : Flist.t;
   stack : Asm.core list;
   buf : buffer;
+  fhashes : (int * int) list;
+      (** memoized hash of each stack frame (same order): only the frame a
+          step replaces is rehashed; buffers are short and hashed fresh *)
 }
 
 type world = {
@@ -32,6 +35,12 @@ type world = {
 }
 
 type load_error = Cas_conc.World.load_error
+
+(** Two-lane hash of one frame, in [Asm.fingerprint_core]'s classes. *)
+let core_hash (c : Asm.core) =
+  let st = Hashx.create () in
+  Asm.hash_core st c;
+  Hashx.out st
 
 let load (modules : Asm.program list) (entries : string list) :
     (world, load_error) result =
@@ -61,7 +70,15 @@ let load (modules : Asm.program list) (entries : string list) :
           | None -> Error (Cas_conc.World.Unresolved_entry e)
           | Some core ->
             build (tid + 1) es fls
-              (IMap.add tid { tid; flist = fl; stack = [ core ]; buf = [] } acc))
+              (IMap.add tid
+                 {
+                   tid;
+                   flist = fl;
+                   stack = [ core ];
+                   buf = [];
+                   fhashes = [ core_hash core ];
+                 }
+                 acc))
         | _ -> assert false
       in
       (match build 1 entries flists IMap.empty with
@@ -106,6 +123,46 @@ let fingerprint_nocur w =
 
 let fingerprint w = string_of_int w.cur ^ fingerprint_nocur w
 
+(** Cheap fixed-width state keys in the fingerprints' equivalence classes
+    (cf. [Cas_conc.World.key]): memoized frame hashes, the store buffers,
+    and the memory's incremental hash. [Fpmode.paranoid] falls back to
+    the collision-free strings. *)
+let key_stream w =
+  let st = Hashx.create () in
+  IMap.iter
+    (fun tid t ->
+      Hashx.int st tid;
+      List.iter
+        (fun (h1, h2) ->
+          Hashx.int st h1;
+          Hashx.int st h2)
+        t.fhashes;
+      Hashx.char st '[';
+      List.iter
+        (fun ((a : Addr.t), v) ->
+          Hashx.int st a.Addr.block;
+          Hashx.int st a.Addr.ofs;
+          Hashx.int st (Value.hash v))
+        t.buf;
+      Hashx.char st ']')
+    w.threads;
+  let mh1, mh2 = Memory.hash w.mem in
+  Hashx.int st mh1;
+  Hashx.int st mh2;
+  st
+
+let key_nocur w =
+  if Fpmode.paranoid () then fingerprint_nocur w
+  else Hashx.key_of (Hashx.out (key_stream w))
+
+let key w =
+  if Fpmode.paranoid () then fingerprint w
+  else begin
+    let st = key_stream w in
+    Hashx.int st w.cur;
+    Hashx.key_of (Hashx.out st)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* TSO-visible memory                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -133,18 +190,30 @@ type succ = world Cas_conc.Explore.gsucc
 let set_thread w t = { w with threads = IMap.add t.tid t w.threads }
 
 let set_top w t core =
-  match t.stack with
-  | [] -> invalid_arg "Tso.set_top"
-  | _ :: rest -> set_thread w { t with stack = core :: rest }
+  match (t.stack, t.fhashes) with
+  | [], _ | _, [] -> invalid_arg "Tso.set_top"
+  | _ :: rest, _ :: hrest ->
+    set_thread w
+      { t with stack = core :: rest; fhashes = core_hash core :: hrest }
 
 let pop_frame w (t : thread) (v : Value.t) : world option =
   match t.stack with
   | [] -> None
-  | _ :: [] -> Some (set_thread w { t with stack = [] })
+  | _ :: [] -> Some (set_thread w { t with stack = []; fhashes = [] })
   | _ :: caller :: rest -> (
     match Asm.after_external caller (Some v) with
     | None -> None
-    | Some caller' -> Some (set_thread w { t with stack = caller' :: rest }))
+    | Some caller' ->
+      let hrest =
+        match t.fhashes with _ :: _ :: hs -> hs | _ -> assert false
+      in
+      Some
+        (set_thread w
+           {
+             t with
+             stack = caller' :: rest;
+             fhashes = core_hash caller' :: hrest;
+           }))
 
 let resolve_call w f args =
   List.find_map (fun p -> Asm.init_core ~genv:w.genv p ~entry:f ~args) w.modules
@@ -287,13 +356,32 @@ let local_trans (w : world) (tid : int) : world Cas_mc.Mcsys.trans list =
               | Some callee ->
                 let w' = set_top w t c' in
                 let t' = IMap.find tid w'.threads in
-                [ next ~fp (set_thread w' { t' with stack = callee :: t'.stack }) ]
+                [
+                  next ~fp
+                    (set_thread w'
+                       {
+                         t' with
+                         stack = callee :: t'.stack;
+                         fhashes = core_hash callee :: t'.fhashes;
+                       });
+                ]
               | None -> [ abort ])
             | Msg.TailCall (f, args) -> (
               match resolve_call w f args with
               | Some callee ->
                 let rest = match t.stack with [] -> [] | _ :: r -> r in
-                [ next ~fp (set_thread w { t with stack = callee :: rest }) ]
+                let hrest =
+                  match t.fhashes with [] -> [] | _ :: r -> r
+                in
+                [
+                  next ~fp
+                    (set_thread w
+                       {
+                         t with
+                         stack = callee :: rest;
+                         fhashes = core_hash callee :: hrest;
+                       });
+                ]
               | None -> [ abort ]))
           | _ -> [ abort ]))
 
@@ -360,7 +448,7 @@ let steps (w : world) : succ list =
   local @ drains @ switches
 
 let system : world Cas_conc.Explore.system =
-  { fingerprint; all_done; steps }
+  { fingerprint = key; all_done; steps }
 
 (** The TSO machine as a footprint-instrumented selection system for the
     DPOR engines: a transition is "thread [t] executes one instruction"
@@ -371,7 +459,7 @@ let system : world Cas_conc.Explore.system =
     from the state key. *)
 let mc_system : world Cas_mc.Mcsys.t =
   {
-    Cas_mc.Mcsys.fingerprint = fingerprint_nocur;
+    Cas_mc.Mcsys.fingerprint = key_nocur;
     all_done;
     trans =
       (fun w ->

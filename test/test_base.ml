@@ -74,7 +74,8 @@ let gen_addr =
 let gen_fp =
   QCheck.Gen.(
     map2
-      (fun rs ws -> { Footprint.rs = Addr.Set.of_list rs; ws = Addr.Set.of_list ws })
+      (fun rs ws ->
+        Footprint.make ~rs:(Addr.Set.of_list rs) ~ws:(Addr.Set.of_list ws))
       (list_size (int_bound 6) gen_addr)
       (list_size (int_bound 6) gen_addr))
 
@@ -97,6 +98,77 @@ let prop_conflict_monotone =
       (* if f1 conflicts with f2 then f1 conflicts with f2 ∪ f3 *)
       (not (Footprint.conflict f1 f2))
       || Footprint.conflict f1 (Footprint.union f2 f3))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset footprints vs. the reference Addr.Set implementation         *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-interning footprint representation over plain address sets,
+   kept verbatim as an executable oracle for the word-level bitsets. *)
+module Fpref = struct
+  type t = { rs : Addr.Set.t; ws : Addr.Set.t }
+
+  let locs d = Addr.Set.union d.rs d.ws
+
+  let conflict d1 d2 =
+    (not (Addr.Set.is_empty (Addr.Set.inter d1.ws (locs d2))))
+    || not (Addr.Set.is_empty (Addr.Set.inter d2.ws (locs d1)))
+
+  let subset a b = Addr.Set.subset a.rs b.rs && Addr.Set.subset a.ws b.ws
+
+  let inter_locs d s =
+    { rs = Addr.Set.inter d.rs s; ws = Addr.Set.inter d.ws s }
+end
+
+(* wide enough that interner ids cross the 63-bit word boundary *)
+let gen_addr_wide =
+  QCheck.Gen.(map2 (fun b o -> Addr.make b o) (int_bound 11) (int_bound 11))
+
+let gen_fp_pair =
+  QCheck.Gen.(
+    map2
+      (fun rs ws ->
+        let rs = Addr.Set.of_list rs and ws = Addr.Set.of_list ws in
+        (Footprint.make ~rs ~ws, { Fpref.rs; ws }))
+      (list_size (int_bound 10) gen_addr_wide)
+      (list_size (int_bound 10) gen_addr_wide))
+
+let arb_fp_pair =
+  QCheck.make ~print:(fun (fp, _) -> Fmt.str "%a" Footprint.pp fp) gen_fp_pair
+
+let prop_fp_views_roundtrip =
+  QCheck.Test.make ~name:"bitset rs/ws views reproduce the input sets"
+    ~count:500 arb_fp_pair (fun (fp, r) ->
+      Addr.Set.equal (Footprint.rs_set fp) r.Fpref.rs
+      && Addr.Set.equal (Footprint.ws_set fp) r.Fpref.ws)
+
+let prop_fp_conflict_matches_oracle =
+  QCheck.Test.make ~name:"bitset conflict matches the Addr.Set oracle"
+    ~count:1000
+    (QCheck.pair arb_fp_pair arb_fp_pair)
+    (fun ((f1, r1), (f2, r2)) ->
+      Footprint.conflict f1 f2 = Fpref.conflict r1 r2)
+
+let prop_fp_subset_matches_oracle =
+  QCheck.Test.make ~name:"bitset subset matches the Addr.Set oracle"
+    ~count:1000
+    (QCheck.pair arb_fp_pair arb_fp_pair)
+    (fun ((f1, r1), (f2, r2)) -> Footprint.subset f1 f2 = Fpref.subset r1 r2)
+
+let prop_fp_locs_matches_oracle =
+  QCheck.Test.make ~name:"bitset locs matches the Addr.Set oracle" ~count:500
+    arb_fp_pair (fun (fp, r) ->
+      Addr.Set.equal (Footprint.locs fp) (Fpref.locs r))
+
+let prop_fp_inter_locs_matches_oracle =
+  QCheck.Test.make ~name:"bitset inter_locs matches the Addr.Set oracle"
+    ~count:500
+    (QCheck.pair arb_fp_pair QCheck.(make Gen.(list_size (int_bound 10) gen_addr_wide)))
+    (fun ((fp, r), s) ->
+      let s = Addr.Set.of_list s in
+      let fi = Footprint.inter_locs fp s and ri = Fpref.inter_locs r s in
+      Addr.Set.equal (Footprint.rs_set fi) ri.Fpref.rs
+      && Addr.Set.equal (Footprint.ws_set fi) ri.Fpref.ws)
 
 (* ------------------------------------------------------------------ *)
 (* Flist                                                               *)
@@ -188,7 +260,7 @@ let test_mem_alloc_least_free () =
   let m1, b1, fp = Memory.alloc m fl ~size:1 ~perm:Perm.Normal in
   check tint "first block" 2 b1;
   check tbool "alloc fp is write" true
-    (Addr.Set.mem (a 2 0) fp.Footprint.ws);
+    (Footprint.mem_ws fp (a 2 0));
   let _, b2, _ = Memory.alloc m1 fl ~size:1 ~perm:Perm.Normal in
   check tint "second block skips" 4 b2
 
@@ -241,6 +313,146 @@ let test_mem_fingerprint () =
   in
   check tbool "store changes fingerprint" false
     (Memory.fingerprint m1 = Memory.fingerprint m3)
+
+(* ------------------------------------------------------------------ *)
+(* Memory properties: equal / fingerprint / hash / leffect             *)
+(* ------------------------------------------------------------------ *)
+
+type mem_op = Oalloc of int * int | Ostore of int * int * Value.t
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Value.Vint n) (int_bound 3));
+        (2, return Value.Vundef);
+        (1, map2 (fun b o -> Value.Vptr (Addr.make b o)) (int_bound 3) (int_bound 3));
+      ])
+
+let gen_mem_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map2 (fun b s -> Oalloc (b, s + 1)) (int_bound 3) (int_bound 4));
+        ( 4,
+          map3
+            (fun b o v -> Ostore (b, o, v))
+            (int_bound 3) (int_bound 4) gen_value );
+      ])
+
+let apply_mem_ops ops =
+  List.fold_left
+    (fun m op ->
+      match op with
+      | Oalloc (b, s) ->
+        if Memory.block_defined m b then m
+        else Memory.alloc_block m ~block:b ~size:s ~perm:Perm.Normal
+      | Ostore (b, o, v) -> (
+        match Memory.store m (Addr.make b o) v with
+        | Ok m' -> m'
+        | Error _ -> m))
+    Memory.empty ops
+
+let print_mem_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Oalloc (b, s) -> Fmt.str "alloc %d/%d" b s
+         | Ostore (b, o, v) -> Fmt.str "[%d,%d]:=%a" b o Value.pp v)
+       ops)
+
+(* two memories built from a shared prefix and divergent suffixes: the
+   small op space makes both the equal and the unequal case frequent,
+   and Vundef stores exercise the explicit-binding-vs-absent class *)
+let gen_mem_pair =
+  QCheck.Gen.(
+    map3
+      (fun base s1 s2 ->
+        (base, s1, s2, apply_mem_ops (base @ s1), apply_mem_ops (base @ s2)))
+      (list_size (int_bound 10) gen_mem_op)
+      (list_size (int_bound 4) gen_mem_op)
+      (list_size (int_bound 4) gen_mem_op))
+
+let arb_mem_pair =
+  QCheck.make
+    ~print:(fun (b, s1, s2, _, _) ->
+      Fmt.str "base=%s suf1=%s suf2=%s" (print_mem_ops b) (print_mem_ops s1)
+        (print_mem_ops s2))
+    gen_mem_pair
+
+let prop_mem_equal_iff_fingerprint =
+  QCheck.Test.make
+    ~name:"Memory.equal m1 m2 iff fingerprint m1 = fingerprint m2"
+    ~count:1000 arb_mem_pair (fun (_, _, _, m1, m2) ->
+      let eq = Memory.equal m1 m2 in
+      eq = (Memory.fingerprint m1 = Memory.fingerprint m2)
+      && ((not eq) || Memory.hash m1 = Memory.hash m2))
+
+(* the seed's address-set leffect, as the oracle for the block-restricted
+   scan ([ws] passed as a set; the new one reads the bitset directly) *)
+let leffect_ref m m' ws f =
+  let outside_ws_unchanged =
+    Addr.Set.for_all
+      (fun a ->
+        Addr.Set.mem a ws
+        ||
+        match (Memory.peek m a, Memory.peek m' a) with
+        | Some v, Some v' -> Value.equal v v'
+        | _ -> false)
+      (Memory.dom m)
+  in
+  let new_cells = Addr.Set.diff (Memory.dom m') (Memory.dom m) in
+  outside_ws_unchanged
+  && Addr.Set.for_all
+       (fun a -> Addr.Set.mem a ws && Flist.owns_addr f a)
+       new_cells
+
+let prop_leffect_matches_oracle =
+  QCheck.Test.make
+    ~name:"block-restricted leffect matches the address-set oracle"
+    ~count:1000
+    (QCheck.pair arb_mem_pair
+       QCheck.(make Gen.(list_size (int_bound 6) gen_addr_wide)))
+    (fun ((_, _, _, m, m'), ws_l) ->
+      let fl = Flist.make ~offset:1 ~stride:2 in
+      let ws = Addr.Set.of_list ws_l in
+      let d = Footprint.make ~rs:Addr.Set.empty ~ws in
+      Memory.leffect m m' d fl = leffect_ref m m' ws fl)
+
+let prop_leffect_covers_stores =
+  QCheck.Test.make
+    ~name:"leffect holds when ws covers exactly the stores" ~count:500
+    (QCheck.make
+       ~print:(fun (b, s) ->
+         Fmt.str "base=%s suf=%s" (print_mem_ops b) (print_mem_ops s))
+       QCheck.Gen.(
+         pair
+           (list_size (int_bound 8) gen_mem_op)
+           (list_size (int_bound 4) gen_mem_op)))
+    (fun (base, suf) ->
+      let m = apply_mem_ops base in
+      (* suffix of pure stores into already-allocated blocks *)
+      let stores =
+        List.filter_map
+          (function
+            | Oalloc _ -> None
+            | Ostore (b, o, v) -> (
+              match Memory.store m (Addr.make b o) v with
+              | Ok _ -> Some (Addr.make b o, v)
+              | Error _ -> None))
+          suf
+      in
+      let m' =
+        List.fold_left
+          (fun m (a, v) -> Result.get_ok (Memory.store m a v))
+          m stores
+      in
+      let ws = Addr.Set.of_list (List.map fst stores) in
+      let d = Footprint.make ~rs:Addr.Set.empty ~ws in
+      let fl = Flist.make ~offset:0 ~stride:1 in
+      Memory.leffect m m' d fl
+      = leffect_ref m m' ws fl
+      && Memory.leffect m m' d fl)
 
 (* ------------------------------------------------------------------ *)
 (* Genv                                                                *)
@@ -354,8 +566,16 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_conflict_symmetric;
     prop_union_monotone;
     prop_conflict_monotone;
+    prop_fp_views_roundtrip;
+    prop_fp_conflict_matches_oracle;
+    prop_fp_subset_matches_oracle;
+    prop_fp_locs_matches_oracle;
+    prop_fp_inter_locs_matches_oracle;
     prop_flist_nth_mem;
     prop_flist_partition_disjoint;
+    prop_mem_equal_iff_fingerprint;
+    prop_leffect_matches_oracle;
+    prop_leffect_covers_stores;
     prop_layout_store_commutes;
   ]
 

@@ -291,7 +291,7 @@ let test_clight_alloc_footprint_in_flist () =
       match Clight.step fl c mem with
       | [ Lang.Next (Msg.Tau, fp, _, mem') ] ->
         check tbool "allocation footprint inside freelist" true
-          (Addr.Set.for_all (Flist.owns_addr fl) fp.Footprint.ws);
+          (Addr.Set.for_all (Flist.owns_addr fl) (Footprint.ws_set fp));
         check tbool "memory grew" true
           (List.length (Memory.dom_blocks mem')
           > List.length (Memory.dom_blocks mem))
@@ -468,6 +468,7 @@ let evil_lang ~(mode : [ `Hidden_write | `Hidden_read ]) :
             | Error _ -> [ Lang.Stuck_abort ]));
     after_external = (fun _ _ -> None);
     fingerprint_core = (fun c -> string_of_int c.epc);
+    hash_core = (fun st c -> Hashx.int st c.epc);
     pp_core = (fun ppf c -> Fmt.pf ppf "evil@%d" c.epc);
     globals_of = (fun () -> [ Genv.gvar ~init:[ Genv.Iint 0 ] "e" 1 ]);
     defs_of = (fun () -> [ ("f", 0) ]);

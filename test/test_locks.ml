@@ -146,7 +146,7 @@ let test_object_code_may_touch_lock_word () =
   let l = lock_addr w in
   let fp, _, _ = step_to_touch w 1 in
   check tbool "object code reaches L" true
-    (Addr.Set.mem l fp.Footprint.ws)
+    (Footprint.mem_ws fp l)
 
 (* ------------------------------------------------------------------ *)
 (* The fence variant                                                   *)

@@ -97,6 +97,41 @@ let test_store_accounting () =
   check tbool "mem a" true (Cas_mc.Store.mem s "a");
   check tbool "not mem d" false (Cas_mc.Store.mem s "d")
 
+(* The capacity cap is approximate under parallel insertion by at most
+   D - 1 keys for D racing domains (see [Store]), and the [full] flag is
+   set-only: hammer a full store from several domains and check both. *)
+let test_store_full_parallel () =
+  let jobs = 4 in
+  let capacity = 500 in
+  for round = 1 to 3 do
+    let s = Cas_mc.Store.create ~capacity () in
+    let tasks =
+      List.init jobs (fun d () ->
+          for i = 0 to 1999 do
+            ignore (Cas_mc.Store.add s (Fmt.str "%d-%d-%d" round d i))
+          done)
+    in
+    ignore (Pool.run ~jobs tasks);
+    check tbool
+      (Fmt.str "round %d: full store is truncated" round)
+      true
+      (Cas_mc.Store.truncated s);
+    check tbool
+      (Fmt.str "round %d: at least capacity admitted" round)
+      true
+      (Cas_mc.Store.distinct s >= capacity);
+    check tbool
+      (Fmt.str "round %d: over-admission < %d domains" round jobs)
+      true
+      (Cas_mc.Store.distinct s <= capacity + jobs - 1);
+    (* late arrivals after saturation cannot clear the flag *)
+    ignore (Cas_mc.Store.add s "straggler");
+    check tbool
+      (Fmt.str "round %d: still truncated after straggler" round)
+      true
+      (Cas_mc.Store.truncated s)
+  done
+
 let test_engine_names () =
   List.iter
     (fun e ->
@@ -257,6 +292,33 @@ let test_dpor_reduction () =
   check tbool "corpus aggregate >=5x reduction" true
     (5 * !total_dpor <= !total_naive)
 
+(* Distinct-world counts pinned to the values the address-set footprints
+   and string state keys produced before the interning/hashing overhaul:
+   the fixed-width keys must induce exactly the same state partition on
+   the corpus, for every engine. *)
+let test_world_counts_pinned () =
+  let corpus =
+    [
+      ("lock-counter", Corpus.lock_counter_prog (), 1620, 259);
+      ("lock-counter-3", lock_counter_3_prog (), 51162, 2328);
+      ("prints-2", prints_prog 2, 72, 23);
+      ("prints-3", prints_prog 3, 648, 118);
+    ]
+  in
+  List.iter
+    (fun (name, p, exp_naive, exp_dpor) ->
+      let w = load p in
+      let worlds e =
+        (Engine.explore ~engine:e w ~visit:(fun _ -> ())).Cas_mc.Stats.worlds
+      in
+      check tint (name ^ ": naive worlds") exp_naive (worlds Engine.Naive);
+      check tint (name ^ ": dpor worlds") exp_dpor (worlds Engine.Dpor);
+      check tint
+        (name ^ ": dpor-par worlds")
+        exp_dpor
+        (worlds Engine.Dpor_par))
+    corpus
+
 (* ------------------------------------------------------------------ *)
 (* Random concurrent programs: engines always agree                    *)
 (* ------------------------------------------------------------------ *)
@@ -342,6 +404,8 @@ let () =
       ( "units",
         [
           Alcotest.test_case "store accounting" `Quick test_store_accounting;
+          Alcotest.test_case "store full flag under parallel hammering"
+            `Quick test_store_full_parallel;
           Alcotest.test_case "engine names" `Quick test_engine_names;
         ] );
       ( "differential",
@@ -355,7 +419,11 @@ let () =
           Alcotest.test_case "jobs-insensitive" `Quick test_jobs_insensitive;
         ] );
       ( "reduction",
-        [ Alcotest.test_case "dpor >=5x on corpus" `Slow test_dpor_reduction ] );
+        [
+          Alcotest.test_case "dpor >=5x on corpus" `Slow test_dpor_reduction;
+          Alcotest.test_case "world counts pinned across key change" `Slow
+            test_world_counts_pinned;
+        ] );
       ( "random",
         [
           (* pinned seed for reproducibility; QCHECK_SEED=n overrides *)

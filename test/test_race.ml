@@ -84,8 +84,9 @@ let test_predict_atomic_footprint () =
   let w = load p in
   match Race.predict w 1 with
   | [ (fp, true) ] ->
-    check tbool "reads C" true (not (Addr.Set.is_empty fp.Footprint.rs));
-    check tbool "writes C" true (not (Addr.Set.is_empty fp.Footprint.ws))
+    check tbool "reads C" true (not (Addr.Set.is_empty (Footprint.rs_set fp)));
+    check tbool "writes C" true
+      (not (Addr.Set.is_empty (Footprint.ws_set fp)))
   | _ -> Alcotest.fail "expected one atomic prediction"
 
 let test_local_accesses_never_race () =
