@@ -49,6 +49,9 @@ let json_shrink : (string * int * int * int * int * int) list ref = ref []
 (* link section: (case, ns, verdicts, cached verdicts, checker steps) *)
 let json_link : (string * float * int * int * int) list ref = ref []
 
+(* recert section: (case, ns, verdicts, cached verdicts, checker steps) *)
+let json_recert : (string * float * int * int * int) list ref = ref []
+
 let record_worlds ~program ~engine worlds =
   json_worlds := (program, engine, worlds) :: !json_worlds
 
@@ -123,6 +126,16 @@ let write_json path =
          \"cached_verdicts\": %d, \"checker_steps\": %d}"
         (json_escape case) ns verdicts cached steps)
     (List.rev !json_link);
+  pr "\n  ],\n  \"recert\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (case, ns, verdicts, cached, steps) ->
+      sep first;
+      pr
+        "    {\"case\": \"%s\", \"ns_per_recert\": %.2f, \"verdicts\": %d, \
+         \"cached_verdicts\": %d, \"checker_steps\": %d}"
+        (json_escape case) ns verdicts cached steps)
+    (List.rev !json_recert);
   pr "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "@.json results written to %s@." path
@@ -748,6 +761,125 @@ let link_section () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* recert: function-granular recertification after a one-function edit *)
+(* ------------------------------------------------------------------ *)
+
+(** Certify every module of the link corpus through all compilation
+    passes, edit the body of one function ([sq] in [powers]), and
+    re-certify the whole image. Verdicts are keyed by function body
+    digest, so only the edited function's path through the pipeline may
+    re-run the checker — every other function must be a pure cache hit
+    with zero checker steps. *)
+let recert_section () =
+  Fmt.pr "@.=== RECERT — edit one function of N, re-certify ===@.";
+  Cas_compiler.Cache.set_default_dir None;
+  Cas_compiler.Cache.clear_memory ();
+  let units =
+    List.map
+      (fun (name, src) -> (name, Parse.clight src))
+      Corpus.link_module_srcs
+  in
+  (* the one-function edit: [sq]'s body, spelled differently but still
+     squaring — every other function in the image is byte-identical *)
+  let edited_powers =
+    Parse.clight
+      {|
+      int sq(int n) { int t; t = n * n; return t; }
+      int cube(int n) {
+        int s;
+        s = sq(n);
+        return n * s;
+      }
+      void k() {
+        int a;
+        int b;
+        a = cube(3);
+        b = sq(3);
+        print(a - b);
+      }
+|}
+  in
+  let edited_units =
+    List.map
+      (fun (name, p) -> (name, if name = "powers" then edited_powers else p))
+      units
+  in
+  let nfuns =
+    List.fold_left (fun acc (_, p) -> acc + List.length p.Clight.funcs) 0 units
+  in
+  let certify units =
+    List.concat_map (fun (_, p) -> Cascompcert.Framework.check_passes p) units
+  in
+  let summarize reports =
+    List.fold_left
+      (fun (v, c, s) (r : Cascompcert.Framework.pass_sim_report) ->
+        (v + 1, c + (if r.cached then 1 else 0), s + r.checker_steps))
+      (0, 0, 0) reports
+  in
+  (* best-of-N minimum, as in the link section *)
+  let rounds = 5 in
+  let measure ~case ~prepare f =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to rounds do
+      prepare ();
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if dt < !best then best := dt;
+      last := Some r
+    done;
+    let reports = Option.get !last in
+    let v, cached, steps = summarize reports in
+    json_benchmarks := ("recert:" ^ case, rounds, !best) :: !json_benchmarks;
+    json_recert := (case, !best, v, cached, steps) :: !json_recert;
+    Fmt.pr "  %-24s %a   %d verdicts (%d cached), %d checker steps@." case
+      pp_ns !best v cached steps;
+    reports
+  in
+  Fmt.pr "%d modules, %d functions (best of %d):@." (List.length units) nfuns
+    rounds;
+  let cold =
+    measure ~case:"cold"
+      ~prepare:(fun () -> Cas_compiler.Cache.clear_memory ())
+      (fun () -> certify units)
+  in
+  let _, _, cold_steps = summarize cold in
+  (* recertifying an unchanged image must re-verify nothing *)
+  let unchanged =
+    measure ~case:"unchanged" ~prepare:(fun () -> ()) (fun () -> certify units)
+  in
+  let v_un, c_un, s_un = summarize unchanged in
+  if not (c_un = v_un && s_un = 0) then
+    Fmt.failwith "unchanged recert re-verified: %d/%d cached, %d checker steps"
+      c_un v_un s_un;
+  (* after the edit, only [sq]'s verdicts may miss *)
+  let edited =
+    measure ~case:"edit-1-fn"
+      ~prepare:(fun () ->
+        Cas_compiler.Cache.clear_memory ();
+        ignore (certify units))
+      (fun () -> certify edited_units)
+  in
+  List.iter
+    (fun (r : Cascompcert.Framework.pass_sim_report) ->
+      if r.entry = "sq" then begin
+        if r.cached then
+          Fmt.failwith "edited function %s: stale cached verdict for %s"
+            r.entry r.pass
+      end
+      else if (not r.cached) || r.checker_steps <> 0 then
+        Fmt.failwith
+          "untouched function %s re-verified (%s: cached=%b, %d checker steps)"
+          r.entry r.pass r.cached r.checker_steps)
+    edited;
+  let _, _, edit_steps = summarize edited in
+  if edit_steps * 2 >= cold_steps then
+    Fmt.failwith
+      "recert after a one-function edit cost %d checker steps vs %d cold — \
+       not function-granular"
+      edit_steps cold_steps
+
+(* ------------------------------------------------------------------ *)
 (* hotpath: microbenches of the three exploration inner loops           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1053,6 +1185,7 @@ let () =
       ("compile", compile_section);
       ("diag", diag);
       ("link", link_section);
+      ("recert", recert_section);
       ("hotpath", hotpath);
       ("explore", explore_section);
     ]

@@ -116,7 +116,10 @@ let paranoid_arg =
         ~doc:
           "key explored states by their full fingerprint strings instead of \
            the fixed-width hash keys (slower; empirically rules out hash \
-           collisions — verdicts and world counts must not change)")
+           collisions — verdicts and world counts must not change); with \
+           $(b,compile --certify) or $(b,sim), additionally audit every \
+           core the simulation checker visits, at every pipeline stage, by \
+           cross-checking its streamed hash against its fingerprint string")
 
 let witness_out_arg =
   Arg.(
@@ -168,8 +171,30 @@ let print_ir (a : Cas_compiler.Driver.artifacts) ir =
       | "asm" | _ ->
     Fmt.pr "%a@." Fmt.(list ~sep:cut Asm.pp_func) a.asm.Asm.funcs
 
+(* Per-function hit/miss aggregation of a certify report list: one row
+   per function, in first-appearance order, with the verdict count, how
+   many came from the cache (either tier) and the checker steps run. *)
+let per_function_counts (reports : Cascompcert.Framework.pass_sim_report list)
+    : (string * (int * int * int)) list =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Cascompcert.Framework.pass_sim_report) ->
+      let v, c, s =
+        match Hashtbl.find_opt tbl r.entry with
+        | Some x -> x
+        | None ->
+          order := r.entry :: !order;
+          (0, 0, 0)
+      in
+      Hashtbl.replace tbl r.entry
+        (v + 1, (c + if r.cached then 1 else 0), s + r.checker_steps))
+    reports;
+  List.rev_map (fun e -> (e, Hashtbl.find tbl e)) !order
+
 let compile_cmd =
-  let run files ir stats jobs certify cache_dir no_cache =
+  let run files ir stats json jobs certify cache_dir no_cache paranoid =
+    Fpmode.set_paranoid paranoid;
     let jobs = Option.value ~default:1 jobs in
     let use_cache = not no_cache in
     if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
@@ -220,6 +245,7 @@ let compile_cmd =
           (List.map snd units)
       in
       let all_sim_ok = ref true in
+      let json_units = ref [] in
       List.iter2
         (fun (file, client) (c : Cas_compiler.Driver.compiled) ->
           if stats then begin
@@ -250,16 +276,49 @@ let compile_cmd =
                 then all_sim_ok := false;
                 Fmt.pr "  %a@." Cascompcert.Framework.pp_pass_sim r)
               reports;
+            let fns = per_function_counts reports in
+            if stats then
+              List.iter
+                (fun (fn, (v, hits, s)) ->
+                  Fmt.pr "  function %-12s %d/%d verdicts cached, %d checker \
+                          steps@."
+                    fn hits v s)
+                fns;
+            if json then
+              json_units :=
+                Fmt.str {|{"file":%S,"functions":[%s]}|} file
+                  (String.concat ","
+                     (List.map
+                        (fun (fn, (v, hits, s)) ->
+                          Fmt.str
+                            {|{"name":%S,"verdicts":%d,"cached":%d,"steps":%d}|}
+                            fn v hits s)
+                        fns))
+                :: !json_units;
             Fmt.pr
               "  certificates: %d/%d verdicts from cache, %d checker steps \
                executed@."
               cached (List.length reports) steps
           end;
-          if ir <> None || not (stats || certify) then
+          if ir <> None || not (stats || certify || json) then
             print_ir
               (Cas_compiler.Driver.compile_artifacts ~cache:use_cache client)
               ir)
         units results;
+      if json then
+        Fmt.pr {|{"units":[%s]}|} (String.concat "," (List.rev !json_units));
+      if json then Fmt.pr "@.";
+      if paranoid then begin
+        match Lang.audit_collisions () with
+        | [] -> Fmt.pr "paranoid-fp: no hash collisions observed@."
+        | (a, b) :: _ as l ->
+          Fmt.epr
+            "paranoid-fp: %d hash collision%s detected, e.g. %S vs %S@."
+            (List.length l)
+            (if List.length l = 1 then "" else "s")
+            a b;
+          all_sim_ok := false
+      end;
       if stats then begin
         let hits, misses =
           List.fold_left
@@ -307,14 +366,22 @@ let compile_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"disable the certificate cache entirely")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "with --certify, also emit one machine-readable JSON line with \
+             per-function verdict/cache-hit/checker-step counts")
+  in
   Cmd.v
     (Cmd.info "compile"
        ~doc:
          "compile mini-C modules separately (content-addressed cache, \
           parallel with --jobs) and print an IR or --stats")
     Term.(
-      const run $ files_arg $ ir_arg $ stats_arg $ jobs_arg $ certify_arg
-      $ cache_dir_arg $ no_cache_arg)
+      const run $ files_arg $ ir_arg $ stats_arg $ json_arg $ jobs_arg
+      $ certify_arg $ cache_dir_arg $ no_cache_arg $ paranoid_arg)
 
 (* ------------------------------------------------------------------ *)
 (* build / link (certified object files, Cas_link)                      *)
@@ -417,6 +484,17 @@ let link_cmd =
       if stats then begin
         Fmt.pr "link: %a@." Cas_link.Linker.pp_stats
           o.Cas_link.Linker.lk_stats;
+        Option.iter
+          (fun (r : Cascompcert.Framework.compose_report) ->
+            List.iter
+              (fun (m : Cascompcert.Framework.compose_module_report) ->
+                Fmt.pr "  function %s.%-12s %s, %d checker steps@."
+                  m.Cascompcert.Framework.cm_module
+                  m.Cascompcert.Framework.cm_entry
+                  (if m.Cascompcert.Framework.cm_cached then "hit" else "miss")
+                  m.Cascompcert.Framework.cm_steps)
+              r.Cascompcert.Framework.comp_modules)
+          o.Cas_link.Linker.lk_compose;
         List.iter
           (fun s -> Fmt.pr "  %a@." Cas_compiler.Cache.pp_stats s)
           (Cas_compiler.Cache.global_stats ())
@@ -693,7 +771,8 @@ let check_cmd =
     Term.(const run $ file_arg $ entries_arg $ with_lock_arg)
 
 let sim_cmd =
-  let run file =
+  let run file paranoid =
+    Fpmode.set_paranoid paranoid;
     match parse_client file with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -701,14 +780,21 @@ let sim_cmd =
     | Ok client ->
       let reports = Cascompcert.Framework.check_passes client in
       List.iter (fun r -> Fmt.pr "%a@." Cascompcert.Framework.pp_pass_sim r) reports;
-      if List.for_all (fun r -> Cascompcert.Framework.sim_ok r.Cascompcert.Framework.outcome) reports
+      let collisions = if paranoid then Lang.audit_collisions () else [] in
+      (match collisions with
+      | [] -> if paranoid then Fmt.pr "paranoid-fp: no hash collisions observed@."
+      | (a, b) :: _ ->
+        Fmt.epr "paranoid-fp: hash collision detected: %S vs %S@." a b);
+      if
+        collisions = []
+        && List.for_all (fun r -> Cascompcert.Framework.sim_ok r.Cascompcert.Framework.outcome) reports
       then 0
       else 2
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"check the footprint-preserving simulation for every pass")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ paranoid_arg)
 
 let tso_run_machine ~clients ~entries ~engine ~jobs : int =
   match Cas_tso.Tso.load (clients @ [ Cas_tso.Locks.pi_lock ]) entries with

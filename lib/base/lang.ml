@@ -25,9 +25,13 @@ type ('code, 'core) t = {
       (** canonical encoding for state-space memoization *)
   hash_core : Hashx.t -> 'core -> unit;
       (** stream the same state into a hash accumulator, for the cheap
-          fixed-width world keys; must refine [fingerprint_core] equality.
-          Languages off the exploration hot path use
-          [hash_core_of_fingerprint]. *)
+          fixed-width world keys; must refine [fingerprint_core]
+          equality. Every IR has a dedicated streamer. *)
+  hash_fundef : Hashx.t -> 'code -> string -> unit;
+      (** stream the *definition* of one named function — its body,
+          parameters and frame layout, nothing else — so a function's
+          code is nameable by a 16-byte digest ([digest_fundef]).
+          Streams nothing when the module does not define the name. *)
   pp_core : Format.formatter -> 'core -> unit;
   globals_of : 'code -> Genv.gvar list;
       (** the ge declared by a module of this language *)
@@ -49,12 +53,6 @@ type xcore = XCore : ('code, 'core) t * 'core -> xcore
 let xcore_fingerprint (XCore (l, c)) = l.name ^ "|" ^ l.fingerprint_core c
 let pp_xcore ppf (XCore (l, c)) = Fmt.pf ppf "%s:%a" l.name l.pp_core c
 
-(** Default [hash_core]: hash the canonical fingerprint string. Correct
-    for every language; the hot ones (CImp, Clight, x86) stream their
-    state directly instead, skipping the string build. *)
-let hash_core_of_fingerprint fingerprint_core st c =
-  Hashx.string st (fingerprint_core c)
-
 (** Two-lane hash of a packed core, in [xcore_fingerprint]'s classes. *)
 let xcore_hash (XCore (l, c)) =
   let st = Hashx.create () in
@@ -62,6 +60,74 @@ let xcore_hash (XCore (l, c)) =
   Hashx.char st '|';
   l.hash_core st c;
   Hashx.out st
+
+(** 16-byte content digest of one function's definition in a packed
+    module — the unit of certification for function-granular
+    recertification. The language name is part of the stream, so the
+    same body at two pipeline stages digests differently; absent
+    functions digest to the bare [lang:name|] prefix, which no defined
+    function can collide with (every definition streams at least its
+    own name). *)
+let digest_fundef (Mod (l, code)) (name : string) : string =
+  let st = Hashx.create () in
+  Hashx.string st l.name;
+  Hashx.char st ':';
+  Hashx.string st name;
+  Hashx.char st '|';
+  l.hash_fundef st code name;
+  Hashx.key_of (Hashx.out st)
+
+(* ------------------------------------------------------------------ *)
+(* Paranoid hash audit (--paranoid-fp)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Empirical collision audit for the dedicated [hash_core] streamers:
+   under [Fpmode.paranoid], every core fed to [audit_core] is hashed
+   *and* fingerprinted, and a 16-byte hash key observed with two
+   distinct canonical fingerprints is recorded as a collision. The
+   simulation checker audits every core it visits, so the sweep covers
+   all ten IRs, not just the exploration-hot ones. *)
+
+let audit_lock = Mutex.create ()
+let audit_tbl : (string, string) Hashtbl.t = Hashtbl.create 4096
+let audit_bad : (string * string) list ref = ref []
+
+(* memory bound: past this many distinct keys, new keys are no longer
+   remembered (already-seen keys keep being cross-checked) *)
+let audit_cap = 200_000
+
+let audit_reset () =
+  Mutex.lock audit_lock;
+  Hashtbl.reset audit_tbl;
+  audit_bad := [];
+  Mutex.unlock audit_lock
+
+(** Collisions recorded since the last [audit_reset], as pairs of
+    distinct canonical fingerprints that streamed to the same key. *)
+let audit_collisions () =
+  Mutex.lock audit_lock;
+  let l = List.rev !audit_bad in
+  Mutex.unlock audit_lock;
+  l
+
+let audit_core (type code core) (l : (code, core) t) (c : core) : unit =
+  if Fpmode.paranoid () then begin
+    let st = Hashx.create () in
+    Hashx.string st l.name;
+    Hashx.char st '|';
+    l.hash_core st c;
+    let key = Hashx.key_of (Hashx.out st) in
+    let canon = l.name ^ "|" ^ l.fingerprint_core c in
+    Mutex.lock audit_lock;
+    (match Hashtbl.find_opt audit_tbl key with
+    | Some canon' ->
+      if not (String.equal canon canon') then
+        audit_bad := (canon', canon) :: !audit_bad
+    | None ->
+      if Hashtbl.length audit_tbl < audit_cap then
+        Hashtbl.add audit_tbl key canon);
+    Mutex.unlock audit_lock
+  end
 
 (** A whole program P = let Π in f1 ∥ ... ∥ fn (Fig. 4). *)
 type prog = { modules : modu list; entries : string list }

@@ -152,17 +152,33 @@ let sim_ok = function
   | Simulation.Sim_inconclusive _ -> true (* bounded: no counterexample *)
   | Simulation.Sim_fail _ -> false
 
-(* Memoized per-pass simulation verdicts: the other half of the
-   certificate cache. Keyed by the unit's compilation context hash
-   (pipeline version + options + source unit) extended with the pass
-   name, entry, arguments and checker bounds — sound because the
-   pipeline and the checker are deterministic, so an unchanged unit
-   re-certifies to the identical verdict (the executable face of reusing
-   a per-module correctness proof under Lem. 6). Only default-environment
-   runs are memoized: a caller-supplied [env] is an arbitrary closure we
-   cannot content-address. *)
+(* Memoized per-pass simulation verdicts — the other half of the
+   certificate cache, in two tiers.
+
+   Function tier ("SimVerdict"): one verdict per (pass, function),
+   keyed by the *body digests* of the function on both sides of the
+   pass ([Lang.digest_fundef]) plus everything else the checker
+   consumes: both sides' global declarations, the compilation options,
+   the entry arguments and the checker bounds. This is sound because
+   [Simulation.check_verdict] co-executes only the entry function —
+   calls are cut at switch points and answered by the environment — so
+   a verdict genuinely depends on nothing but the two bodies, the
+   globals and those inputs. Editing one function of a module therefore
+   re-runs the checker only for that function's path through the
+   pipeline; every untouched function is a pure hit.
+
+   Module tier ("SimModule"): the full sweep for one compilation unit,
+   keyed by its context hash (pipeline version + options + source). A
+   hit here skips even the per-function digesting.
+
+   Only default-environment runs are memoized: a caller-supplied [env]
+   is an arbitrary closure we cannot content-address. *)
 let verdicts : Simulation.verdict Cas_compiler.Cache.store =
   Cas_compiler.Cache.store ~name:"SimVerdict" ()
+
+let module_verdicts :
+    (string * string * Simulation.verdict) list Cas_compiler.Cache.store =
+  Cas_compiler.Cache.store ~name:"SimModule" ()
 
 (** Check the footprint-preserving simulation between every consecutive
     pair of pipeline stages, for every function of the module, on the
@@ -184,8 +200,32 @@ let check_passes ?env ?max_switches ?tau_bound ?(cache = true) ?options
   in
   let args_of e = List.init (entry_arity e) (fun i -> Value.Vint (7 + i)) in
   let memoizable = cache && env = None in
-  let chk pass (Lang.Mod (src_lang, src_code)) (Lang.Mod (tgt_lang, tgt_code))
-      =
+  let rec stage_pairs = function
+    | (_, m1) :: (((pname, m2) :: _) as rest) ->
+      (pname, m1, m2) :: stage_pairs rest
+    | _ -> []
+  in
+  (* Per-pass pairs, plus the whole compiler end to end (Lem. 13 /
+     Correct(CompCert)). *)
+  let pairs =
+    stage_pairs c.Driver.c_trace
+    @
+    match (c.Driver.c_trace, List.rev c.Driver.c_trace) with
+    | (_, first) :: _, (_, last) :: _ -> [ ("Compiler", first, last) ]
+    | _ -> []
+  in
+  (* Function-tier hits recorded while producing the sweep, consulted
+     when the reports are assembled below. *)
+  let fn_hits : (string * string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let chk (pass, src_mod, tgt_mod) =
+    let (Lang.Mod (src_lang, src_code)) = src_mod in
+    let (Lang.Mod (tgt_lang, tgt_code)) = tgt_mod in
+    let glbs =
+      lazy
+        (Cache.digest
+           ( src_lang.Lang.globals_of src_code,
+             tgt_lang.Lang.globals_of tgt_code ))
+    in
     List.map
       (fun entry ->
         let run () =
@@ -198,43 +238,47 @@ let check_passes ?env ?max_switches ?tau_bound ?(cache = true) ?options
           else
             let key =
               Cache.digest
-                ( c.Driver.c_context,
-                  "sim",
+                ( "sim-fn",
                   pass,
-                  entry,
+                  Lang.digest_fundef src_mod entry,
+                  Lang.digest_fundef tgt_mod entry,
+                  Lazy.force glbs,
+                  options,
                   args_of entry,
                   max_switches,
                   tau_bound )
             in
             Cache.find_or_add verdicts key run
         in
-        let cached = hit = `Hit in
-        {
-          pass;
-          entry;
-          outcome = v.Simulation.v_outcome;
-          cached;
-          checker_steps = (if cached then 0 else Simulation.verdict_steps v);
-        })
+        Hashtbl.replace fn_hits (pass, entry) (hit = `Hit);
+        (pass, entry, v))
       entries
   in
-  let rec stage_pairs = function
-    | (_, m1) :: (((pname, m2) :: _) as rest) ->
-      (pname, m1, m2) :: stage_pairs rest
-    | _ -> []
+  let sweep () = List.concat_map chk pairs in
+  let triples, module_hit =
+    if not memoizable then (sweep (), `Off)
+    else
+      let key =
+        Cache.digest (c.Driver.c_context, "sim-module", max_switches, tau_bound)
+      in
+      Cache.find_or_add module_verdicts key sweep
   in
-  let per_pass =
-    List.concat_map
-      (fun (pname, m1, m2) -> chk pname m1 m2)
-      (stage_pairs c.Driver.c_trace)
-  in
-  (* whole compiler, end to end (Lem. 13 / Correct(CompCert)) *)
-  let whole =
-    match (c.Driver.c_trace, List.rev c.Driver.c_trace) with
-    | (_, first) :: _, (_, last) :: _ -> chk "Compiler" first last
-    | _ -> []
-  in
-  per_pass @ whole
+  (* One source of truth for the stats: a verdict is [cached] iff it was
+     served by either tier, and cached verdicts report 0 checker steps. *)
+  List.map
+    (fun (pass, entry, v) ->
+      let cached =
+        module_hit = `Hit
+        || Option.value ~default:false (Hashtbl.find_opt fn_hits (pass, entry))
+      in
+      {
+        pass;
+        entry;
+        outcome = v.Simulation.v_outcome;
+        cached;
+        checker_steps = (if cached then 0 else Simulation.verdict_steps v);
+      })
+    triples
 
 (* ------------------------------------------------------------------ *)
 (* Certificate composition at link time (Lem. 6, empirically)          *)

@@ -137,7 +137,11 @@ let run_to_switch (type code core) (lang : (code, core) Lang.t) fl core mem
     ~bound : core run_result =
   let rec go core mem acc steps =
     if steps > bound then Run_diverge
-    else
+    else begin
+      (* Under --paranoid-fp, cross-check the streamed hash against the
+         fingerprint string on every core the checker visits. The checker
+         co-executes every pipeline stage, so this sweeps all IRs. *)
+      Lang.audit_core lang core;
       match lang.Lang.step fl core mem with
       | [] -> Run_abort
       | [ Lang.Stuck_abort ] -> Run_abort
@@ -146,6 +150,7 @@ let run_to_switch (type code core) (lang : (code, core) Lang.t) fl core mem
       | [ Lang.Next (msg, fp, core', mem') ] ->
         Switch (msg, Footprint.union acc fp, core', mem', steps + 1)
       | _ :: _ :: _ -> Run_nondet
+    end
   in
   go core mem Footprint.empty 0
 

@@ -265,6 +265,19 @@ let hash_core st c =
   Hashx.char st '|';
   hash_kont st c.k
 
+let hash_fundef st (p : program) name =
+  match List.find_opt (fun f -> String.equal f.fname name) p.funcs with
+  | None -> ()
+  | Some f ->
+    Hashx.string st f.fname;
+    List.iter
+      (fun x ->
+        Hashx.char st ',';
+        Hashx.string st x)
+      f.fparams;
+    Hashx.char st '|';
+    hash_stmt st f.fbody
+
 let lang : (program, core) Lang.t =
   {
     name = "CImp";
@@ -273,6 +286,7 @@ let lang : (program, core) Lang.t =
     after_external = (fun _ _ -> None);
     fingerprint_core;
     hash_core;
+    hash_fundef;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of =

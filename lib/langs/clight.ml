@@ -378,6 +378,26 @@ let hash_core st c =
   hash_kont st c.k;
   Hashx.bool st (c.waiting <> None)
 
+let hash_fundef st (p : program) name =
+  match List.find_opt (fun f -> String.equal f.fname name) p.funcs with
+  | None -> ()
+  | Some f ->
+    Hashx.string st f.fname;
+    List.iter
+      (fun x ->
+        Hashx.char st ',';
+        Hashx.string st x)
+      f.fparams;
+    Hashx.char st '|';
+    List.iter
+      (fun (x, size) ->
+        Hashx.string st x;
+        Hashx.char st '@';
+        Hashx.int st size)
+      f.fvars;
+    Hashx.char st '|';
+    hash_stmt st f.fbody
+
 let lang : (program, core) Lang.t =
   {
     name = "Clight";
@@ -386,6 +406,7 @@ let lang : (program, core) Lang.t =
     after_external;
     fingerprint_core;
     hash_core;
+    hash_fundef;
     pp_core;
     globals_of = (fun p -> p.globals);
     defs_of =

@@ -139,23 +139,28 @@ let link ?bounds ?max_switches ?tau_bound ?(jobs = 1) ?(certify = false)
       match sources [] objs with
       | Error e -> Error e
       | Ok modules ->
-        (* [modules] was built from [objs] in order, so the module at
-           position [i] certifies the object at position [i]. Key each
-           verdict by THAT object's digests — a lookup by module name
-           would conflate two same-named objects with disjoint exports
-           and serve one of them the other's (possibly stale) verdict. *)
-        let obj_at = Array.of_list objs in
+        (* Key each verdict by the *function body digests* of the entry
+           on both sides of the link-time simulation, plus both sides'
+           global declarations. Content addressing makes stale-verdict
+           collisions impossible by construction: two same-named objects
+           with disjoint exports digest their entries to different keys
+           (an absent function digests to the bare language prefix), and
+           editing one function of an object invalidates exactly that
+           function's verdict — relinking revalidates only it. *)
+        let mod_at = Array.of_list modules in
         let verdict_key ~mod_index ~mod_name:_ ~entry =
-          if mod_index < 0 || mod_index >= Array.length obj_at then None
+          if mod_index < 0 || mod_index >= Array.length mod_at then None
           else
-            let (o : Objfile.t) = obj_at.(mod_index) in
+            let _, src_mod, tgt_mod = mod_at.(mod_index) in
+            let (Lang.Mod (sl, sc)) = src_mod in
+            let (Lang.Mod (tl, tc)) = tgt_mod in
             Some
               (Cas_compiler.Cache.digest
                  ( "link-verdict",
                    Version.v,
-                   o.o_body_digest,
-                   o.o_cert.Cert.chain,
-                   entry,
+                   Lang.digest_fundef src_mod entry,
+                   Lang.digest_fundef tgt_mod entry,
+                   (sl.Lang.globals_of sc, tl.Lang.globals_of tc),
                    max_switches,
                    tau_bound ))
         in

@@ -469,6 +469,7 @@ let evil_lang ~(mode : [ `Hidden_write | `Hidden_read ]) :
     after_external = (fun _ _ -> None);
     fingerprint_core = (fun c -> string_of_int c.epc);
     hash_core = (fun st c -> Hashx.int st c.epc);
+    hash_fundef = (fun _ () _ -> ());
     pp_core = (fun ppf c -> Fmt.pf ppf "evil@%d" c.epc);
     globals_of = (fun () -> [ Genv.gvar ~init:[ Genv.Iint 0 ] "e" 1 ]);
     defs_of = (fun () -> [ ("f", 0) ]);

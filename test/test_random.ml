@@ -239,6 +239,38 @@ let prop_every_stage_refines =
           run_one Asm.lang a.asm;
         ])
 
+(* The streamed per-IR hashes must refine fingerprint equality: under
+   --paranoid-fp the checker cross-checks the 16-byte key against the
+   canonical fingerprint string on every core it visits, and it
+   co-executes every pipeline stage, so one check_passes run sweeps all
+   ten IRs' streamers over live states. *)
+let prop_hash_refines_fingerprint_on_random =
+  QCheck.Test.make
+    ~name:"streamed hash refines fingerprint on every IR (paranoid sweep)"
+    ~count:40 arb_program (fun p ->
+      Lang.audit_reset ();
+      Fpmode.set_paranoid true;
+      Fun.protect
+        ~finally:(fun () -> Fpmode.set_paranoid false)
+        (fun () ->
+          ignore (Cascompcert.Framework.check_passes ~cache:false p));
+      Lang.audit_collisions () = [])
+
+(* Fundef digests are a pure function of the code: recompiling the same
+   random program yields bit-identical per-stage digests for every
+   defined function — no hidden state leaks into a streamer. *)
+let prop_fundef_digest_deterministic =
+  QCheck.Test.make
+    ~name:"per-stage fundef digests are deterministic on random programs"
+    ~count:40 arb_program (fun p ->
+      let digests () =
+        List.map
+          (fun (stage, m) -> (stage, Lang.digest_fundef m "main"))
+          (Cas_compiler.Driver.compile_unit ~cache:false p)
+            .Cas_compiler.Driver.c_trace
+      in
+      digests () = digests ())
+
 let prop_module_sim_on_random =
   QCheck.Test.make ~name:"Def.2/3 simulation holds on random programs"
     ~count:100 arb_program (fun p ->
@@ -268,6 +300,8 @@ let () =
             prop_compiler_correct;
             prop_compiler_correct_noopt;
             prop_every_stage_refines;
+            prop_hash_refines_fingerprint_on_random;
+            prop_fundef_digest_deterministic;
             prop_module_sim_on_random;
           ] );
     ]
