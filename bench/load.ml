@@ -1,0 +1,175 @@
+(** Load driver for the cascd bench: many concurrent clients with
+    Zipf-distributed module reuse hammering one [Cas_serve] daemon.
+
+    Everything is deterministic — a hand-rolled LCG per client, seeded
+    by the client index — so two runs issue the same request streams.
+    The Zipf skew is the realistic shape for a build farm's traffic:
+    a few hot modules (the common headers everyone rebuilds against)
+    dominate, with a long tail of cold ones, which is exactly the mix
+    that exercises both the dedup window and the certificate cache. *)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic randomness                                            *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable state : int }
+
+let rng ~seed = { state = (((seed + 1) * 2654435761) land 0x3FFFFFFF) lor 1 }
+
+let next (r : rng) : int =
+  r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.state
+
+(* uniform in [0,1) *)
+let uniform (r : rng) : float = float_of_int (next r) /. 1073741824.
+
+(* ------------------------------------------------------------------ *)
+(* Zipf sampling                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Cumulative distribution of a Zipf law with exponent [s] over ranks
+    [0..n-1]: rank k has weight 1/(k+1)^s. *)
+let zipf_cdf ~(n : int) ~(s : float) : float array =
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+(** Smallest rank whose cumulative weight covers a uniform draw. *)
+let sample (cdf : float array) (r : rng) : int =
+  let u = uniform r in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Exact quantile over the collected sample (no histogram bias here —
+    the driver keeps every latency). [q] in (0,1]. *)
+let percentile (xs : int array) (q : float) : int =
+  if Array.length xs = 0 then 0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let idx =
+      max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+    in
+    sorted.(idx)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The client fleet                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  sent : int;
+  ok : int;
+  overloaded : int;
+  draining : int;
+  errors : int;  (** transport failures and [error]-status responses *)
+  latencies_us : int array;  (** one entry per request that got any answer *)
+  wall_ns : float;  (** fleet start to last client done *)
+}
+
+(** Run [clients] concurrent connections, each issuing [requests]
+    requests chosen by [kind_of ~client ~request] (which typically
+    samples [zipf_cdf]); every client keeps one connection for its whole
+    life, like a build daemon's persistent workers would.
+
+    The client threads are spread over a few domains: real clients are
+    separate *processes*, so their request encoding and response parsing
+    must not time-share the daemon's domain — co-locating every client
+    systhread with the connection handlers would benchmark the OCaml
+    runtime lock, not the service. *)
+let run_clients ~(socket : string) ~(clients : int) ~(requests : int)
+    ~(kind_of : client:int -> request:int -> Cas_serve.Protocol.kind) :
+    outcome =
+  let lock = Mutex.create () in
+  let ok = ref 0
+  and overloaded = ref 0
+  and draining = ref 0
+  and errors = ref 0
+  and lats = ref [] in
+  let client i () =
+    match Cas_serve.Client.connect ~socket with
+    | Error _ ->
+      Mutex.lock lock;
+      errors := !errors + requests;
+      Mutex.unlock lock
+    | Ok c ->
+      let record f =
+        Mutex.lock lock;
+        f ();
+        Mutex.unlock lock
+      in
+      for j = 1 to requests do
+        let t0 = Unix.gettimeofday () in
+        let r = Cas_serve.Client.request c (kind_of ~client:i ~request:j) in
+        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        record (fun () ->
+            match r with
+            | Ok { Cas_serve.Protocol.status = Cas_serve.Protocol.Sok; _ } ->
+              incr ok;
+              lats := us :: !lats
+            | Ok { Cas_serve.Protocol.status = Cas_serve.Protocol.Soverloaded; _ }
+              ->
+              incr overloaded;
+              lats := us :: !lats
+            | Ok { Cas_serve.Protocol.status = Cas_serve.Protocol.Sdraining; _ }
+              ->
+              incr draining;
+              lats := us :: !lats
+            | Ok { Cas_serve.Protocol.status = Cas_serve.Protocol.Serror; _ }
+            | Error _ ->
+              incr errors)
+      done;
+      Cas_serve.Client.close c
+  in
+  let n_domains =
+    max 1 (min 4 (min clients (Domain.recommended_domain_count () - 1)))
+  in
+  let t0 = Unix.gettimeofday () in
+  if n_domains <= 1 then begin
+    (* single core: a spawned domain would just time-share with this
+       one — run the client threads here *)
+    let threads =
+      List.init clients (fun i -> Thread.create (client i) ())
+    in
+    List.iter Thread.join threads
+  end
+  else begin
+    let domains =
+      List.init n_domains (fun d ->
+          Domain.spawn (fun () ->
+              let mine =
+                List.filter
+                  (fun i -> i mod n_domains = d)
+                  (List.init clients Fun.id)
+              in
+              let threads =
+                List.map (fun i -> Thread.create (client i) ()) mine
+              in
+              List.iter Thread.join threads))
+    in
+    List.iter Domain.join domains
+  end;
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  {
+    sent = clients * requests;
+    ok = !ok;
+    overloaded = !overloaded;
+    draining = !draining;
+    errors = !errors;
+    latencies_us = Array.of_list !lats;
+    wall_ns;
+  }

@@ -171,26 +171,7 @@ let print_ir (a : Cas_compiler.Driver.artifacts) ir =
       | "asm" | _ ->
     Fmt.pr "%a@." Fmt.(list ~sep:cut Asm.pp_func) a.asm.Asm.funcs
 
-(* Per-function hit/miss aggregation of a certify report list: one row
-   per function, in first-appearance order, with the verdict count, how
-   many came from the cache (either tier) and the checker steps run. *)
-let per_function_counts (reports : Cascompcert.Framework.pass_sim_report list)
-    : (string * (int * int * int)) list =
-  let tbl = Hashtbl.create 8 in
-  let order = ref [] in
-  List.iter
-    (fun (r : Cascompcert.Framework.pass_sim_report) ->
-      let v, c, s =
-        match Hashtbl.find_opt tbl r.entry with
-        | Some x -> x
-        | None ->
-          order := r.entry :: !order;
-          (0, 0, 0)
-      in
-      Hashtbl.replace tbl r.entry
-        (v + 1, (c + if r.cached then 1 else 0), s + r.checker_steps))
-    reports;
-  List.rev_map (fun e -> (e, Hashtbl.find tbl e)) !order
+let per_function_counts = Cascompcert.Framework.per_function_counts
 
 let compile_cmd =
   let run files ir stats json jobs certify cache_dir no_cache paranoid =
@@ -1079,6 +1060,222 @@ let explain_cmd =
        ~doc:"render a witness interleaving as a human-readable timeline")
     Term.(const run $ witness_file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client (cascd, Cas_serve)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "casc.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on")
+
+let serve_cmd =
+  let run socket jobs queue_cap cache_dir no_cache delay_ms stats =
+    let use_cache = not no_cache in
+    if use_cache then Cas_compiler.Cache.set_default_dir (Some cache_dir);
+    let jobs = Option.value ~default:2 jobs in
+    let cfg =
+      {
+        Cas_serve.Daemon.socket;
+        jobs;
+        queue_cap;
+        delay = float_of_int delay_ms /. 1000.;
+      }
+    in
+    match Cas_serve.Daemon.create cfg with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+    | Ok d ->
+      Fmt.pr "cascd listening on %s (%d worker%s, queue cap %d)@." socket jobs
+        (if jobs = 1 then "" else "s")
+        queue_cap;
+      let final = Cas_serve.Daemon.run d in
+      if stats then Fmt.pr "%s@." (Cas_diag.Json.to_string final);
+      0
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "admission control: max distinct jobs outstanding before new \
+             work is rejected as overloaded")
+  in
+  let delay_ms_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay-ms" ] ~docv:"MS"
+          ~doc:
+            "add an artificial delay to every job (testing: widens the \
+             in-flight window so coalescing is observable)")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"print the final metrics document (JSON) on exit")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run cascd, the certification daemon: batches, dedups and caches \
+          compile/certify/link/drf/tso requests over a Unix-domain socket \
+          until SIGTERM or a shutdown request")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_cap_arg $ cache_dir_arg
+      $ no_cache_arg $ delay_ms_arg $ stats_arg)
+
+let client_cmd =
+  let run socket kind files entries with_lock certify out =
+    let source_of f =
+      match read_file f with
+      | s -> Ok s
+      | exception Sys_error e -> Error e
+    in
+    let kind_of () : (Cas_serve.Protocol.kind, string) result =
+      let open Cas_serve.Protocol in
+      match (kind, files) with
+      | "ping", [] -> Ok Ping
+      | "metrics", [] -> Ok Metrics
+      | "shutdown", [] -> Ok Shutdown
+      | "compile", [ f ] ->
+        Result.map (fun source -> Compile { source }) (source_of f)
+      | "certify", [ f ] ->
+        Result.map (fun source -> Certify { source }) (source_of f)
+      | "drf", [ f ] ->
+        Result.map
+          (fun source -> Drf { source; entries; with_lock })
+          (source_of f)
+      | "tso", [ f ] ->
+        Result.map (fun source -> Tso { source; entries }) (source_of f)
+      | "link", (_ :: _ as objs) ->
+        let rec read acc = function
+          | [] -> Ok (Link { objects = List.rev acc; entries; certify })
+          | o :: rest -> (
+            match source_of o with
+            | Error e -> Error e
+            | Ok s -> read (s :: acc) rest)
+        in
+        read [] objs
+      | ("ping" | "metrics" | "shutdown"), _ :: _ ->
+        Error (Fmt.str "%s takes no FILE argument" kind)
+      | ("compile" | "certify" | "drf" | "tso"), _ ->
+        Error (Fmt.str "%s takes exactly one FILE argument" kind)
+      | "link", [] -> Error "link needs at least one .cao FILE"
+      | k, _ ->
+        Error
+          (Fmt.str
+             "unknown request %S (expected ping, compile, certify, link, \
+              drf, tso, metrics or shutdown)"
+             k)
+    in
+    let fail msg =
+      Fmt.epr "error: %s@." msg;
+      1
+    in
+    match kind_of () with
+    | Error e -> fail e
+    | Ok k -> (
+      match
+        Cas_serve.Client.with_connection ~socket (fun c ->
+            Cas_serve.Client.request c k)
+      with
+      | Error e | Ok (Error e) -> fail e
+      | Ok (Ok resp) -> (
+        let open Cas_serve.Protocol in
+        match resp.status with
+        | Serror -> fail (payload_message resp.payload)
+        | Soverloaded | Sdraining ->
+          Fmt.epr "error: %s@." (payload_message resp.payload);
+          3
+        | Sok -> (
+          match k with
+          | Metrics ->
+            Fmt.pr "%s@." (Cas_diag.Json.to_string resp.payload);
+            0
+          | Ping | Shutdown ->
+            Fmt.pr "%s@." (payload_text resp.payload);
+            0
+          | Compile _ ->
+            print_string (payload_text resp.payload);
+            0
+          | Certify _ ->
+            print_string (payload_text resp.payload);
+            if payload_bool "sim_ok" resp.payload then 0 else 2
+          | Drf _ ->
+            print_string (payload_text resp.payload);
+            if payload_bool "drf" resp.payload then 0 else 2
+          | Tso _ ->
+            print_string (payload_text resp.payload);
+            if payload_bool "holds" resp.payload then 0 else 2
+          | Link _ ->
+            print_string (payload_text resp.payload);
+            (match Cas_diag.Json.member_opt "image" resp.payload with
+            | Some (Cas_diag.Json.Str img) ->
+              (* re-encode through [Image.save] so the written file is
+                 byte-identical to one-shot [casc link]'s (atomic, same
+                 trailing layout) *)
+              (match Cas_link.Image.of_string img with
+              | Ok i -> Cas_link.Image.save i ~file:out
+              | Error _ ->
+                let oc = open_out_bin out in
+                output_string oc img;
+                close_out oc);
+              let digest =
+                match Cas_diag.Json.member_opt "digest" resp.payload with
+                | Some (Cas_diag.Json.Str d) -> d
+                | _ -> "?"
+              in
+              Fmt.pr "wrote %s (image %s%s)@." out digest
+                (if payload_bool "certified" resp.payload then ", certified"
+                 else "")
+            | _ -> ());
+            0)))
+  in
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "one of: ping, compile, certify, link, drf, tso, metrics, \
+             shutdown")
+  in
+  let files_arg =
+    Arg.(
+      value & pos_right 0 file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "mini-C source (compile/certify/drf/tso) or .cao objects (link); \
+             contents are sent to the daemon, which never reads the \
+             filesystem")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:"with link: compose the per-module certificates (Lem. 6)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string ("prog" ^ Cas_link.Image.extension)
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"with link: where to write the returned image")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "send one request to a running casc serve daemon and print the \
+          response (verdict text is byte-identical to the corresponding \
+          one-shot casc command)")
+    Term.(
+      const run $ socket_arg $ kind_arg $ files_arg $ entries_arg
+      $ with_lock_arg $ certify_arg $ out_arg)
+
 let () =
   let doc = "certified-separate-compilation playground (CASCompCert reproduction)" in
   let info = Cmd.info "casc" ~version:Cas_base.Version.v ~doc in
@@ -1097,4 +1294,6 @@ let () =
             repro_cmd;
             replay_cmd;
             explain_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -70,15 +70,17 @@ type 'v store = {
   tbl : (string, 'v) Hashtbl.t;
   lock : Mutex.t;
   hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+      (** subset of [hits] served by the disk tier (memory missed) *)
   misses : int Atomic.t;
 }
 
-type stats = { name : string; hits : int; misses : int }
+type stats = { name : string; hits : int; disk_hits : int; misses : int }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "%-14s %4d hit%s, %4d miss%s" s.name s.hits
+  Fmt.pf ppf "%-14s %4d hit%s (%d from disk), %4d miss%s" s.name s.hits
     (if s.hits = 1 then "" else "s")
-    s.misses
+    s.disk_hits s.misses
     (if s.misses = 1 then "" else "es")
 
 (* registry of all stores, for aggregate stats / reset *)
@@ -94,6 +96,7 @@ let store ~name () : 'v store =
       tbl = Hashtbl.create 64;
       lock = Mutex.create ();
       hits = Atomic.make 0;
+      disk_hits = Atomic.make 0;
       misses = Atomic.make 0;
     }
   in
@@ -103,7 +106,12 @@ let store ~name () : 'v store =
   s
 
 let stats (s : 'v store) =
-  { name = s.s_name; hits = Atomic.get s.hits; misses = Atomic.get s.misses }
+  {
+    name = s.s_name;
+    hits = Atomic.get s.hits;
+    disk_hits = Atomic.get s.disk_hits;
+    misses = Atomic.get s.misses;
+  }
 
 let global_stats () : stats list =
   Mutex.lock registry_lock;
@@ -118,6 +126,7 @@ let reset_stats () =
   List.iter
     (fun (Any s) ->
       Atomic.set s.hits 0;
+      Atomic.set s.disk_hits 0;
       Atomic.set s.misses 0)
     l
 
@@ -206,6 +215,7 @@ let find_or_add (s : 'v store) (k : string) (produce : unit -> 'v) :
     | Some v ->
       add_mem s k v;
       Atomic.incr s.hits;
+      Atomic.incr s.disk_hits;
       (v, `Hit)
     | None ->
       let v = produce () in

@@ -152,6 +152,29 @@ let sim_ok = function
   | Simulation.Sim_inconclusive _ -> true (* bounded: no counterexample *)
   | Simulation.Sim_fail _ -> false
 
+(** Per-function hit/miss aggregation of a certify report list: one row
+    per function, in first-appearance order, with the verdict count, how
+    many came from the cache (either tier) and the checker steps run.
+    Shared by the [casc] CLI and the certification daemon, so both render
+    the same rows for the same input. *)
+let per_function_counts (reports : pass_sim_report list) :
+    (string * (int * int * int)) list =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r : pass_sim_report) ->
+      let v, c, s =
+        match Hashtbl.find_opt tbl r.entry with
+        | Some x -> x
+        | None ->
+          order := r.entry :: !order;
+          (0, 0, 0)
+      in
+      Hashtbl.replace tbl r.entry
+        (v + 1, (c + if r.cached then 1 else 0), s + r.checker_steps))
+    reports;
+  List.rev_map (fun e -> (e, Hashtbl.find tbl e)) !order
+
 (* Memoized per-pass simulation verdicts — the other half of the
    certificate cache, in two tiers.
 

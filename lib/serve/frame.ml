@@ -1,0 +1,123 @@
+(** Length-prefixed JSON frames over a file descriptor — the wire format
+    of the certification service.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of JSON ([Cas_diag.Json]). The codec is the daemon's first
+    line of defense, so every failure mode of a hostile or broken peer
+    is a value, never an exception: a length past [max_payload] is
+    [Oversized] (rejected before a byte of the payload is read), a
+    negative length is [Bad_length], a peer that hangs up mid-frame is
+    [Closed], and payload bytes that fail the depth/size-limited
+    [Json.parse_result] are [Malformed]. *)
+
+module Json = Cas_diag.Json
+
+(** Frames above this are rejected unread. Far above any request we
+    build (sources and .cao contents are the big payloads), far below
+    anything that could exhaust memory on a 4-byte say-so. *)
+let max_payload = 16 * 1024 * 1024
+
+type error =
+  | Closed  (** EOF or connection reset (mid-frame or between frames) *)
+  | Stopped  (** the daemon began draining while we waited between frames *)
+  | Bad_length of int  (** negative or absurd length prefix *)
+  | Oversized of { size : int; limit : int }
+  | Malformed of Json.parse_error  (** framed fine, but not valid JSON *)
+
+let pp_error ppf = function
+  | Closed -> Fmt.string ppf "connection closed"
+  | Stopped -> Fmt.string ppf "server stopping"
+  | Bad_length n -> Fmt.pf ppf "bad frame length %d" n
+  | Oversized { size; limit } ->
+    Fmt.pf ppf "frame too large (%d bytes, limit %d)" size limit
+  | Malformed e -> Fmt.pf ppf "malformed frame: %a" Json.pp_parse_error e
+
+(* ------------------------------------------------------------------ *)
+(* Raw I/O                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Read exactly [len] bytes, retrying on short reads and EINTR. [None]
+   on EOF or a hard error. *)
+let read_exactly fd buf off len : unit option =
+  let rec go off len =
+    if len = 0 then Some ()
+    else
+      match Unix.read fd buf off len with
+      | 0 -> None
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (_, _, _) -> None
+  in
+  go off len
+
+let write_all fd buf : (unit, error) result =
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write fd buf off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (_, _, _) -> Error Closed
+  in
+  go 0 (Bytes.length buf)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Send one frame whose payload is already JSON text. Header and
+    payload go out in a single [write] — one syscall, and no chance of
+    another thread's frame landing between them. [Error Closed] if the
+    peer is gone (the caller decides whether that matters). *)
+let write_string (fd : Unix.file_descr) (payload : string) :
+    (unit, error) result =
+  let n = String.length payload in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf
+
+(** Serialize and send one frame. [Error Closed] if the peer is gone
+    (the caller decides whether that matters). *)
+let write (fd : Unix.file_descr) (j : Json.t) : (unit, error) result =
+  write_string fd (Json.to_string j)
+
+(** Wait (≤0.2 s at a time) until [fd] is readable, re-asking
+    [should_stop] between polls so an idle connection notices a drain.
+    Once the first byte of a frame has been read the frame is always
+    finished: stopping only happens at frame boundaries. *)
+let rec wait_readable fd ~(should_stop : unit -> bool) : (unit, error) result =
+  if should_stop () then Error Stopped
+  else
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> wait_readable fd ~should_stop
+    | _ -> Ok ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      wait_readable fd ~should_stop
+
+(** Receive one frame. Blocks until a frame arrives, the peer hangs up,
+    or [should_stop] turns true between frames. *)
+let read ?(max_payload = max_payload) ?(should_stop = fun () -> false)
+    (fd : Unix.file_descr) : (Json.t, error) result =
+  match wait_readable fd ~should_stop with
+  | Error e -> Error e
+  | Ok () -> (
+    let header = Bytes.create 4 in
+    match read_exactly fd header 0 4 with
+    | None -> Error Closed
+    | Some () -> (
+      let n = Int32.to_int (Bytes.get_int32_be header 0) in
+      if n < 0 then Error (Bad_length n)
+      else if n > max_payload then
+        Error (Oversized { size = n; limit = max_payload })
+      else
+        let payload = Bytes.create n in
+        match read_exactly fd payload 0 n with
+        | None -> Error Closed
+        | Some () -> (
+          match
+            Json.parse_result ~max_size:max_payload
+              (Bytes.unsafe_to_string payload)
+          with
+          | Ok j -> Ok j
+          | Error e -> Error (Malformed e))))

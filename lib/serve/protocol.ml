@@ -1,0 +1,210 @@
+(** The certification service protocol: versioned request/response
+    documents carried in [Frame]s.
+
+    A request is [{ "v": <tool version>, "id": <client-chosen int>,
+    "kind": <string>, ...kind-specific fields }]. Sources and object
+    files travel *by content*, not by path — the daemon never touches
+    the client's filesystem, and content-addressing (dedup, certificate
+    cache) falls out for free. A response echoes the id:
+    [{ "v", "id", "status": "ok"|"error"|"overloaded"|"draining",
+    "payload": {...} }]. Decoding is total: anything malformed comes
+    back as [Error], never an exception — the daemon feeds this decoder
+    bytes from the network. *)
+
+module Json = Cas_diag.Json
+
+type kind =
+  | Ping
+  | Compile of { source : string }
+      (** compile to x86; payload carries the asm rendering and digest *)
+  | Certify of { source : string }
+      (** run/fetch the per-pass simulation verdicts *)
+  | Link of { objects : string list; entries : string list; certify : bool }
+      (** [objects] are .cao file *contents* *)
+  | Drf of { source : string; entries : string list; with_lock : bool }
+  | Tso of { source : string; entries : string list }
+  | Metrics
+  | Shutdown
+
+type request = { id : int; kind : kind }
+
+let kind_name = function
+  | Ping -> "ping"
+  | Compile _ -> "compile"
+  | Certify _ -> "certify"
+  | Link _ -> "link"
+  | Drf _ -> "drf"
+  | Tso _ -> "tso"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+
+(** Content digest of a request's *semantic* fields — the dedup key.
+    Deliberately excludes the client-chosen [id]: two clients asking to
+    certify the same source are the same job. The digest construction
+    matches the certificate cache's ([Cas_compiler.Cache.digest] over
+    pure data), so in-flight dedup and cross-request caching agree on
+    what "identical" means. *)
+let request_key (r : request) : string =
+  let tag =
+    match r.kind with
+    | Ping -> `P
+    | Compile { source } -> `C source
+    | Certify { source } -> `V source
+    | Link { objects; entries; certify } -> `L (objects, entries, certify)
+    | Drf { source; entries; with_lock } -> `D (source, entries, with_lock)
+    | Tso { source; entries } -> `T (source, entries)
+    | Metrics -> `M
+    | Shutdown -> `S
+  in
+  Cas_compiler.Cache.digest tag
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_request (r : request) : Json.t =
+  let open Json in
+  let base = [ ("v", Str Cas_base.Version.v); ("id", Int r.id) ] in
+  let fields =
+    match r.kind with
+    | Ping | Metrics | Shutdown -> []
+    | Compile { source } | Certify { source } -> [ ("source", Str source) ]
+    | Link { objects; entries; certify } ->
+      [
+        ("objects", List (List.map (fun o -> Str o) objects));
+        ("entries", List (List.map (fun e -> Str e) entries));
+        ("certify", Bool certify);
+      ]
+    | Drf { source; entries; with_lock } ->
+      [
+        ("source", Str source);
+        ("entries", List (List.map (fun e -> Str e) entries));
+        ("with_lock", Bool with_lock);
+      ]
+    | Tso { source; entries } ->
+      [
+        ("source", Str source);
+        ("entries", List (List.map (fun e -> Str e) entries));
+      ]
+  in
+  Obj (base @ [ ("kind", Str (kind_name r.kind)) ] @ fields)
+
+(** The id of a (possibly malformed) request document, for error
+    responses that can still be correlated; [-1] when unrecoverable. *)
+let peek_id (j : Json.t) : int =
+  match Json.member_opt "id" j with Some (Json.Int n) -> n | _ -> -1
+
+let decode_request (j : Json.t) : (request, string) result =
+  let open Json in
+  decode
+    (fun j ->
+      (match member "v" j with
+      | Str v when v = Cas_base.Version.v -> ()
+      | Str v ->
+        decode_fail "version mismatch: request %s, server %s" v
+          Cas_base.Version.v
+      | _ -> decode_fail "expected string field \"v\"");
+      let id = to_int_exn (member "id" j) in
+      let str k = to_str_exn (member k j) in
+      let strs k = List.map to_str_exn (to_list_exn (member k j)) in
+      let kind =
+        match to_str_exn (member "kind" j) with
+        | "ping" -> Ping
+        | "compile" -> Compile { source = str "source" }
+        | "certify" -> Certify { source = str "source" }
+        | "link" ->
+          Link
+            {
+              objects = strs "objects";
+              entries = strs "entries";
+              certify = to_bool_exn (member "certify" j);
+            }
+        | "drf" ->
+          Drf
+            {
+              source = str "source";
+              entries = strs "entries";
+              with_lock = to_bool_exn (member "with_lock" j);
+            }
+        | "tso" -> Tso { source = str "source"; entries = strs "entries" }
+        | "metrics" -> Metrics
+        | "shutdown" -> Shutdown
+        | k -> decode_fail "unknown request kind %S" k
+      in
+      { id; kind })
+    j
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type status = Sok | Serror | Soverloaded | Sdraining
+
+let status_name = function
+  | Sok -> "ok"
+  | Serror -> "error"
+  | Soverloaded -> "overloaded"
+  | Sdraining -> "draining"
+
+type response = { rid : int; status : status; payload : Json.t }
+
+let encode_response (r : response) : Json.t =
+  Json.Obj
+    [
+      ("v", Json.Str Cas_base.Version.v);
+      ("id", Json.Int r.rid);
+      ("status", Json.Str (status_name r.status));
+      ("payload", r.payload);
+    ]
+
+(** Serialize a response whose payload is *already JSON text* — the
+    encode-once half of result fan-out: a job's payload is rendered to
+    bytes one time and every waiter's response frame just blits it in.
+    Produces a document [decode_response] accepts. *)
+let encode_response_raw ~(rid : int) ~(status : status) ~(payload : string) :
+    string =
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b "{\"v\": \"";
+  Buffer.add_string b Cas_base.Version.v;
+  Buffer.add_string b "\", \"id\": ";
+  Buffer.add_string b (string_of_int rid);
+  Buffer.add_string b ", \"status\": \"";
+  Buffer.add_string b (status_name status);
+  Buffer.add_string b "\", \"payload\": ";
+  Buffer.add_string b payload;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let decode_response (j : Json.t) : (response, string) result =
+  let open Json in
+  decode
+    (fun j ->
+      let rid = to_int_exn (member "id" j) in
+      let status =
+        match to_str_exn (member "status" j) with
+        | "ok" -> Sok
+        | "error" -> Serror
+        | "overloaded" -> Soverloaded
+        | "draining" -> Sdraining
+        | s -> decode_fail "unknown status %S" s
+      in
+      { rid; status; payload = member "payload" j })
+    j
+
+(** A structured error payload ([status <> Sok] responses). *)
+let error_payload (msg : string) : Json.t =
+  Json.Obj [ ("message", Json.Str msg) ]
+
+let payload_message (p : Json.t) : string =
+  match Json.member_opt "message" p with
+  | Some (Json.Str m) -> m
+  | _ -> "(no message)"
+
+(** The rendered human-readable text of an ok payload — for compile,
+    certify, drf and tso this is byte-identical to what the one-shot
+    [casc] command prints for the same input. *)
+let payload_text (p : Json.t) : string =
+  match Json.member_opt "text" p with Some (Json.Str t) -> t | _ -> ""
+
+let payload_bool (key : string) (p : Json.t) : bool =
+  match Json.member_opt key p with Some (Json.Bool b) -> b | _ -> false

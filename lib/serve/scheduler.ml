@@ -1,0 +1,199 @@
+(** The request scheduler: memo + dedup + admission control + worker
+    pool. A request's key is a content digest of its semantic fields, so
+    the three dedup tiers compose by construction:
+
+    - the *response memo*: a completed job's successful result, kept by
+      key — an identical request arriving any time later is answered
+      synchronously, no parse, no render, no worker ([Hit]). Requests
+      are content-addressed (the source text is *in* the key), so a
+      memoized verdict can never go stale;
+    - the *in-flight window*: an identical job currently executing —
+      the request *coalesces*, riding the leader's execution ([Dedup]);
+    - the *certificate cache* ([Cas_compiler.Cache]): per-function
+      verdicts shared across distinct requests (and, on disk, across
+      restarts) that happen to contain the same function bodies.
+
+    A miss on all three goes to admission control: at most [queue_cap]
+    distinct jobs may be outstanding (queued or executing); past the cap
+    the request is rejected [Overloaded] *immediately* — the daemon
+    answers with a structured overload error instead of letting an
+    unbounded queue eat the latency budget. Admitted jobs go to the
+    bounded worker pool ([Cas_base.Pool.Persistent]); on completion the
+    result is fanned out to the leader's and every coalesced caller's
+    callback, and memoized.
+
+    [drain] is the graceful-shutdown half: new submissions are refused
+    [Draining], every admitted job still runs to completion (and its
+    waiters get their responses) before [drain] returns. *)
+
+(** [Ok] carries the response payload *already rendered to JSON text*:
+    a job's result is encoded exactly once, and every consumer — the
+    leader, each coalesced waiter, every later memo hit — blits the same
+    bytes into its response frame. [Error] is a human-readable message. *)
+type result = (string, string) Stdlib.result
+
+type t = {
+  pool : Cas_base.Pool.Persistent.t;
+  dedup : result Dedup.t;
+  lock : Mutex.t;
+  memo : (string, result) Hashtbl.t;  (** completed [Ok] results by key *)
+  memo_cap : int;
+  mutable memo_hits : int;
+  mutable outstanding : int;  (** distinct jobs admitted, not completed *)
+  mutable peak_outstanding : int;
+  mutable overloaded : int;  (** submissions rejected by the cap *)
+  queue_cap : int;
+  mutable draining : bool;
+}
+
+let create ~(jobs : int) ~(queue_cap : int) ?(memo_cap = 4096) () : t =
+  {
+    pool = Cas_base.Pool.Persistent.create ~jobs ();
+    dedup = Dedup.create ();
+    lock = Mutex.create ();
+    memo = Hashtbl.create 256;
+    memo_cap = max 1 memo_cap;
+    memo_hits = 0;
+    outstanding = 0;
+    peak_outstanding = 0;
+    overloaded = 0;
+    queue_cap = max 1 queue_cap;
+    draining = false;
+  }
+
+type outcome =
+  | Hit  (** served from the response memo; callback has ALREADY run *)
+  | Admitted  (** a fresh execution was queued; callback fires later *)
+  | Coalesced  (** rides an identical in-flight job; callback fires later *)
+  | Overloaded  (** rejected by the queue cap; callback will NOT fire *)
+  | Draining  (** rejected because [drain] has begun; callback will NOT fire *)
+
+(* miss on the memo: dedup, admission control, worker pool. Called with
+   [t.lock] held; releases it on every path. *)
+let submit_miss (t : t) ~(key : string) ~(run : unit -> result)
+    ~(callback : result -> unit) : outcome =
+  if
+    (* a coalescing request occupies no new queue slot, so the cap check
+       applies only to would-be leaders — but leadership is decided by
+       [Dedup.join], which must happen under this same decision. Peek
+       first: an in-flight key always coalesces, cap or no cap. *)
+    t.outstanding >= t.queue_cap
+    && not (Dedup.inflight_key t.dedup key)
+  then begin
+    t.overloaded <- t.overloaded + 1;
+    Mutex.unlock t.lock;
+    Overloaded
+  end
+  else begin
+    match Dedup.join t.dedup ~key callback with
+    | `Coalesced ->
+      Mutex.unlock t.lock;
+      Coalesced
+    | `Leader ->
+      t.outstanding <- t.outstanding + 1;
+      t.peak_outstanding <- max t.peak_outstanding t.outstanding;
+      let job () =
+        let r = try run () with e -> Error (Printexc.to_string e) in
+        Mutex.lock t.lock;
+        t.outstanding <- t.outstanding - 1;
+        (match r with
+        | Ok _ ->
+          (* keys are content digests over the full request, so the
+             result can never go stale; errors are not memoized — an
+             exception-turned-[Error] may be transient *)
+          if Hashtbl.length t.memo >= t.memo_cap then Hashtbl.reset t.memo;
+          Hashtbl.replace t.memo key r
+        | Error _ -> ());
+        Mutex.unlock t.lock;
+        ignore (Dedup.complete t.dedup ~key r)
+      in
+      (match Cas_base.Pool.Persistent.submit t.pool job with
+      | Ok () ->
+        Mutex.unlock t.lock;
+        Admitted
+      | Error `Draining ->
+        (* raced with drain: undo the admission and tell the caller *)
+        t.outstanding <- t.outstanding - 1;
+        ignore (Dedup.complete t.dedup ~key (Error "draining"));
+        t.draining <- true;
+        Mutex.unlock t.lock;
+        Draining)
+  end
+
+(** Submit the job for [key]. [run] executes on a worker domain (at most
+    once per in-flight key, exceptions become [Error]); [callback] runs
+    on the worker domain that completed the job — except on a memo
+    [Hit], where it has already run, synchronously, when [submit]
+    returns. *)
+let submit (t : t) ~(key : string) ~(run : unit -> result)
+    ~(callback : result -> unit) : outcome =
+  Mutex.lock t.lock;
+  if t.draining then begin
+    Mutex.unlock t.lock;
+    Draining
+  end
+  else
+    match Hashtbl.find_opt t.memo key with
+    | Some r ->
+      t.memo_hits <- t.memo_hits + 1;
+      Mutex.unlock t.lock;
+      (* outside the lock: the callback writes response frames *)
+      callback r;
+      Hit
+    | None -> submit_miss t ~key ~run ~callback
+
+(** Refuse new submissions and run every admitted job to completion
+    (waiters included). Idempotent. *)
+let drain (t : t) : unit =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Mutex.unlock t.lock;
+  Cas_base.Pool.Persistent.drain t.pool
+
+let queue_depth (t : t) : int =
+  Mutex.lock t.lock;
+  let n = t.outstanding in
+  Mutex.unlock t.lock;
+  n
+
+let overloaded_total (t : t) : int =
+  Mutex.lock t.lock;
+  let n = t.overloaded in
+  Mutex.unlock t.lock;
+  n
+
+let coalesced_total (t : t) : int = Dedup.coalesced_total t.dedup
+let executed_total (t : t) : int = Dedup.executed_total t.dedup
+
+let memo_hits_total (t : t) : int =
+  Mutex.lock t.lock;
+  let n = t.memo_hits in
+  Mutex.unlock t.lock;
+  n
+
+let memo_entries (t : t) : int =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.memo in
+  Mutex.unlock t.lock;
+  n
+let workers (t : t) : int = Cas_base.Pool.Persistent.workers t.pool
+let busy (t : t) : int = Cas_base.Pool.Persistent.busy t.pool
+
+(** Scheduler gauges for the metrics document. *)
+let to_json (t : t) : Cas_diag.Json.t =
+  let open Cas_diag.Json in
+  Obj
+    [
+      ("depth", Int (queue_depth t));
+      ("cap", Int t.queue_cap);
+      ("peak_depth", Int t.peak_outstanding);
+      ("workers", Int (workers t));
+      ("busy", Int (busy t));
+      ( "utilization_pct",
+        Int (100 * busy t / max 1 (workers t)) );
+      ("executed", Int (executed_total t));
+      ("coalesced", Int (coalesced_total t));
+      ("memo_hits", Int (memo_hits_total t));
+      ("memo_entries", Int (memo_entries t));
+      ("overloaded", Int (overloaded_total t));
+    ]

@@ -69,6 +69,90 @@ let test_json_rejects () =
   check tbool "missing colon" true (bad {|{"a" 1}|});
   check tbool "bare word" true (bad "flase")
 
+(* the hardened entry point: typed errors, size and depth limits *)
+let test_json_parse_result_limits () =
+  let deep k = String.make k '[' ^ String.make k ']' in
+  (* k brackets recurse to depth k-1, so the limit trips at limit+2 *)
+  (match Json.parse_result ~max_depth:16 (deep 18) with
+  | Error (Json.Too_deep { limit }) -> check tint "depth limit named" 16 limit
+  | _ -> Alcotest.fail "expected Too_deep");
+  check tbool "depth just inside the limit parses" true
+    (match Json.parse_result ~max_depth:16 (deep 17) with
+    | Ok _ -> true
+    | Error _ -> false);
+  (match Json.parse_result ~max_size:8 "[1,2,3,4,5]" with
+  | Error (Json.Too_large { size; limit }) ->
+    check tint "size reported" 11 size;
+    check tint "limit reported" 8 limit
+  | _ -> Alcotest.fail "expected Too_large");
+  match Json.parse_result "[1] junk" with
+  | Error (Json.Syntax { offset; msg }) ->
+    check tbool "offset points past the value" true (offset >= 3);
+    check tstr "trailing garbage named" "trailing garbage" msg
+  | _ -> Alcotest.fail "expected Syntax"
+
+let test_json_parse_result_adversarial () =
+  let syntax s =
+    match Json.parse_result s with
+    | Error (Json.Syntax _) -> true
+    | _ -> false
+  in
+  check tbool "unterminated string" true (syntax {|"abc|});
+  check tbool "truncated unicode escape" true (syntax {|"\u00|});
+  check tbool "non-latin1 escape" true (syntax "\"\\u2603\"");
+  check tbool "number overflow" true (syntax "99999999999999999999999999");
+  check tbool "lone minus" true (syntax "-");
+  check tbool "NUL inside literal" true (syntax "nu\000ll");
+  check tbool "deep objects also capped" true
+    (match
+       Json.parse_result ~max_depth:16
+         (String.concat ""
+            (List.init 40 (fun _ -> {|{"a":|})
+            @ [ "1" ]
+            @ List.init 40 (fun _ -> "}")))
+     with
+    | Error (Json.Too_deep _) -> true
+    | _ -> false);
+  (* errors render without raising *)
+  check tbool "pp_parse_error total" true
+    (String.length
+       (Fmt.str "%a" Json.pp_parse_error
+          (Json.Syntax { offset = 3; msg = "x" }))
+    > 0)
+
+(* every document we can print parses back through the hardened entry
+   point to the same tree *)
+let gen_json_doc =
+  let open QCheck.Gen in
+  sized_size (int_bound 3) (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) small_signed_int;
+                map (fun s -> Json.Str s) (string_size (int_bound 12));
+              ]
+          else
+            oneof
+              [
+                map
+                  (fun l -> Json.List l)
+                  (list_size (int_bound 4) (self (n - 1)));
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair string_printable (self (n - 1))));
+              ])
+        n)
+
+let prop_json_parse_result_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse_result/to_string round trip"
+    (QCheck.make gen_json_doc ~print:Json.to_string)
+    (fun d -> Json.parse_result (Json.to_string d) = Ok d)
+
 (* ------------------------------------------------------------------ *)
 (* Witness serialization                                                *)
 (* ------------------------------------------------------------------ *)
@@ -428,6 +512,11 @@ let () =
           Alcotest.test_case "nested round trip" `Quick
             test_json_nested_roundtrip;
           Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+          Alcotest.test_case "parse_result limits" `Quick
+            test_json_parse_result_limits;
+          Alcotest.test_case "parse_result adversarial" `Quick
+            test_json_parse_result_adversarial;
+          QCheck_alcotest.to_alcotest prop_json_parse_result_roundtrip;
         ] );
       ( "witness",
         [
