@@ -12,42 +12,16 @@
 (* Deterministic randomness                                            *)
 (* ------------------------------------------------------------------ *)
 
-type rng = { mutable state : int }
+(* The LCG and Zipf helpers that used to live here moved to
+   [Cas_base.Rng] (the fuzz generator needs the same machinery); these
+   aliases keep the driver's call sites readable. *)
 
-let rng ~seed = { state = (((seed + 1) * 2654435761) land 0x3FFFFFFF) lor 1 }
+type rng = Cas_base.Rng.t
 
-let next (r : rng) : int =
-  r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
-  r.state
-
-(* uniform in [0,1) *)
-let uniform (r : rng) : float = float_of_int (next r) /. 1073741824.
-
-(* ------------------------------------------------------------------ *)
-(* Zipf sampling                                                       *)
-(* ------------------------------------------------------------------ *)
-
-(** Cumulative distribution of a Zipf law with exponent [s] over ranks
-    [0..n-1]: rank k has weight 1/(k+1)^s. *)
-let zipf_cdf ~(n : int) ~(s : float) : float array =
-  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
-  let total = Array.fold_left ( +. ) 0. w in
-  let acc = ref 0. in
-  Array.map
-    (fun x ->
-      acc := !acc +. (x /. total);
-      !acc)
-    w
-
-(** Smallest rank whose cumulative weight covers a uniform draw. *)
-let sample (cdf : float array) (r : rng) : int =
-  let u = uniform r in
-  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if cdf.(mid) >= u then hi := mid else lo := mid + 1
-  done;
-  !lo
+let rng ~seed : rng = Cas_base.Rng.make ~seed
+let uniform = Cas_base.Rng.uniform
+let zipf_cdf = Cas_base.Rng.zipf_cdf
+let sample = Cas_base.Rng.sample
 
 (* ------------------------------------------------------------------ *)
 (* Percentiles                                                         *)

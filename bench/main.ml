@@ -55,6 +55,9 @@ let json_recert : (string * float * int * int * int) list ref = ref []
 (* serve section: flat (metric, value) gauges of the load run *)
 let json_serve : (string * float) list ref = ref []
 
+(* fuzz section: flat (metric, value) gauges of the campaign *)
+let json_fuzz : (string * float) list ref = ref []
+
 let record_worlds ~program ~engine worlds =
   json_worlds := (program, engine, worlds) :: !json_worlds
 
@@ -146,6 +149,13 @@ let write_json path =
       sep first;
       pr "    {\"metric\": \"%s\", \"value\": %.2f}" (json_escape metric) value)
     (List.rev !json_serve);
+  pr "\n  ],\n  \"fuzz\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (metric, value) ->
+      sep first;
+      pr "    {\"metric\": \"%s\", \"value\": %.2f}" (json_escape metric) value)
+    (List.rev !json_fuzz);
   pr "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "@.json results written to %s@." path
@@ -1398,6 +1408,51 @@ let read_baseline path : (string * float) list =
    with End_of_file -> close_in ic);
   List.rev !rows
 
+(* ------------------------------------------------------------------ *)
+(* fuzz — differential campaign throughput                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A small fixed-seed [Cas_fuzz] campaign per language: programs/s
+    through the full oracle stack, and the bucket tallies. Not part of
+    the baseline-gated explore set — campaign cost is dominated by
+    whatever the generator happens to draw, so it gates in CI by bucket
+    counts (fuzz-smoke), not by wall clock. *)
+let fuzz_section () =
+  Fmt.pr "@.=== FUZZ — differential campaign throughput ===@.";
+  let count = 40 in
+  List.iter
+    (fun lang ->
+      let name = Cas_fuzz.Gen.lang_to_string lang in
+      let t0 = Unix.gettimeofday () in
+      let rep =
+        Cas_fuzz.Driver.run ~size:8 ~budget:20_000 ~seed:1 ~count lang
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let open Cas_fuzz.Driver in
+      Fmt.pr "  %-8s %3d programs in %6.2fs (%5.1f/s)  %a@." name count dt
+        (float_of_int count /. dt)
+        pp_report rep;
+      json_fuzz :=
+        List.rev_append
+          [
+            (Fmt.str "%s programs_per_s" name, float_of_int count /. dt);
+            (Fmt.str "%s agree" name, float_of_int rep.r_agree);
+            (Fmt.str "%s drf" name, float_of_int rep.r_drf);
+            (Fmt.str "%s racy" name, float_of_int rep.r_racy);
+            ( Fmt.str "%s verdict_divergence" name,
+              float_of_int rep.r_verdict_div );
+            ( Fmt.str "%s world_count_divergence" name,
+              float_of_int rep.r_world_div );
+            (Fmt.str "%s crash" name, float_of_int rep.r_crash);
+            (Fmt.str "%s timeout" name, float_of_int rep.r_timeout);
+          ]
+          !json_fuzz;
+      if not (clean rep) then begin
+        Fmt.epr "fuzz: unexplained divergence in the %s campaign@." name;
+        exit 1
+      end)
+    [ Cas_fuzz.Gen.Clight; Cas_fuzz.Gen.Cimp ]
+
 (** Compare the exploration sections of this run against the baseline;
     fail (exit 1) on any regression beyond the tolerance band. Entries
     missing on either side are reported but never fail the gate (new
@@ -1494,6 +1549,7 @@ let () =
       ("hotpath", hotpath);
       ("explore", explore_section);
       ("serve", serve_section);
+      ("fuzz", fuzz_section);
     ]
   in
   Fmt.pr "CASCompCert reproduction — benchmark harness@.";

@@ -23,6 +23,9 @@
     - [replay W.json [--shrink] [--trace T.json]]: deterministically
       re-execute a witness, optionally minimizing it and exporting a
       Chrome/Perfetto trace;
+    - [fuzz --seed S --count N]: generate random programs and run them
+      through the differential oracles, bucketing outcomes into a triage
+      report and back-translating divergences into minimal CImp repros;
     - [explain W.json]: render a witness interleaving for humans.
 
     [drf] and [tso] also take [--witness FILE] to capture on failure. *)
@@ -868,6 +871,15 @@ let shrink_arg =
     & info [ "shrink" ]
         ~doc:"minimize the schedule (ddmin + run merging) before writing")
 
+let shrink_budget_arg =
+  Arg.(
+    value
+    & opt int Cas_diag.Shrink.default_max_attempts
+    & info [ "shrink-budget" ] ~docv:"N"
+        ~doc:
+          "candidate-execution budget for ddmin schedule shrinking \
+           (default 2000)")
+
 let trace_arg =
   Arg.(
     value
@@ -888,7 +900,7 @@ let tso_flag_arg =
           "capture against the x86-TSO machine (compiled client + TTAS \
            lock) instead of the SC race predictor")
 
-let shrink_and_save wit ~do_shrink ~out ~trace =
+let shrink_and_save wit ~do_shrink ~shrink_budget ~out ~trace =
   let wit =
     if not do_shrink then wit
     else
@@ -897,7 +909,7 @@ let shrink_and_save wit ~do_shrink ~out ~trace =
         Fmt.epr "shrink: cannot rebuild the semantics: %s@." e;
         wit
       | Ok s0 ->
-        let r = Cas_diag.Shrink.shrink s0 wit in
+        let r = Cas_diag.Shrink.shrink ~max_attempts:shrink_budget s0 wit in
         Fmt.pr "%a@." Cas_diag.Shrink.pp_report r;
         r.Cas_diag.Shrink.sh_witness
   in
@@ -909,7 +921,8 @@ let shrink_and_save wit ~do_shrink ~out ~trace =
     trace
 
 let repro_cmd =
-  let run file entries with_lock tso engine jobs seed out do_shrink trace =
+  let run file entries with_lock tso engine jobs seed out do_shrink
+      shrink_budget trace =
     let entries = default_entries entries in
     match parse_client file with
     | Error e ->
@@ -974,7 +987,7 @@ let repro_cmd =
         Fmt.pr "no counterexample found: nothing to capture@.";
         1
       | Ok (Some wit) ->
-        shrink_and_save wit ~do_shrink ~out ~trace;
+        shrink_and_save wit ~do_shrink ~shrink_budget ~out ~trace;
         0)
   in
   Cmd.v
@@ -984,7 +997,8 @@ let repro_cmd =
           failure) as a self-contained replayable witness")
     Term.(
       const run $ file_arg $ entries_arg $ with_lock_arg $ tso_flag_arg
-      $ engine_arg $ jobs_arg $ seed_arg $ out_arg $ shrink_arg $ trace_arg)
+      $ engine_arg $ jobs_arg $ seed_arg $ out_arg $ shrink_arg
+      $ shrink_budget_arg $ trace_arg)
 
 let witness_file_arg =
   Arg.(
@@ -993,7 +1007,7 @@ let witness_file_arg =
     & info [] ~docv:"WITNESS" ~doc:"witness JSON file")
 
 let replay_cmd =
-  let run file do_shrink trace out =
+  let run file do_shrink shrink_budget trace out =
     match Cas_diag.Witness.load ~file with
     | Error e ->
       Fmt.epr "error: %s: %s@." file e;
@@ -1027,7 +1041,7 @@ let replay_cmd =
           else begin
             (if do_shrink || trace <> None || out <> None then
                let out = Option.value ~default:file out in
-               shrink_and_save wit ~do_shrink ~out ~trace);
+               shrink_and_save wit ~do_shrink ~shrink_budget ~out ~trace);
             0
           end)
   in
@@ -1043,7 +1057,131 @@ let replay_cmd =
        ~doc:
          "re-execute a witness schedule step by step, verifying events, \
           footprints and target worlds against the recording")
-    Term.(const run $ witness_file_arg $ shrink_arg $ trace_arg $ out_opt_arg)
+    Term.(
+      const run $ witness_file_arg $ shrink_arg $ shrink_budget_arg
+      $ trace_arg $ out_opt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed count size budget lang json out_dir shrink_budget
+      paranoid_every inject =
+    match Cas_fuzz.Gen.lang_of_string lang with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      2
+    | Ok lang ->
+      let progress ~index bucket =
+        if bucket <> Cas_fuzz.Driver.Agree then
+          Fmt.epr "[%04d] %s@." index (Cas_fuzz.Driver.bucket_name bucket)
+      in
+      let rep =
+        Cas_fuzz.Driver.run ~size ~budget ~shrink_budget ~paranoid_every
+          ~inject ?out_dir ~progress ~seed ~count lang
+      in
+      Fmt.pr "%a@." Cas_fuzz.Driver.pp_report rep;
+      List.iter
+        (fun (c : Cas_fuzz.Driver.case) ->
+          Fmt.pr "  case %04d [%s]: %s%a%a@." c.Cas_fuzz.Driver.c_index
+            (Cas_fuzz.Driver.bucket_name c.Cas_fuzz.Driver.c_bucket)
+            c.Cas_fuzz.Driver.c_detail
+            Fmt.(option (fmt " — repro %s"))
+            c.Cas_fuzz.Driver.c_repro
+            Fmt.(option (fmt " (replay: %s)"))
+            c.Cas_fuzz.Driver.c_replay)
+        rep.Cas_fuzz.Driver.r_cases;
+      (match json with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Cas_diag.Json.to_string (Cas_fuzz.Driver.report_to_json rep));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "triage report written to %s@." file
+      | None -> ());
+      (* an [--inject] campaign is *expected* to diverge — its exit code
+         reports whether the pipeline handled the divergences *)
+      if Cas_fuzz.Driver.clean rep || inject then 0 else 1
+  in
+  let fseed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"campaign seed (determines everything)")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"number of programs to generate")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "size" ] ~docv:"N" ~doc:"program size budget (statements)")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~docv:"T"
+          ~doc:
+            "per-oracle exploration budget (worlds for the race search, \
+             paths for trace enumeration); exhausting it buckets the \
+             program as a timeout")
+  in
+  let lang_arg =
+    Arg.(
+      value & opt string "clight"
+      & info [ "lang" ] ~docv:"LANG"
+          ~doc:
+            "generated language: $(b,clight) (full differential pipeline) \
+             or $(b,cimp) (engine + fingerprint oracles only)")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"write the deterministic triage report as JSON")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "write offending programs and back-translated minimal repros \
+             here")
+  in
+  let paranoid_every_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "paranoid-every" ] ~docv:"N"
+          ~doc:
+            "run the paranoid fingerprint spot-check on every Nth program \
+             (0 disables)")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject" ]
+          ~doc:
+            "deliberately miscompile (bump the first print argument fed to \
+             the compiler) to exercise the divergence → shrink → \
+             back-translate → replay pipeline")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "generate random programs and run them through the differential \
+          oracles (source vs compiled traces, naive vs DPOR verdicts and \
+          world counts, paranoid fingerprint spot-checks), bucketing \
+          outcomes into a triage report and back-translating every \
+          divergence into a minimal CImp repro")
+    Term.(
+      const run $ fseed_arg $ count_arg $ size_arg $ budget_arg $ lang_arg
+      $ json_arg $ out_dir_arg $ shrink_budget_arg $ paranoid_every_arg
+      $ inject_arg)
 
 let explain_cmd =
   let run file =
@@ -1293,6 +1431,7 @@ let () =
             tso_cmd;
             repro_cmd;
             replay_cmd;
+            fuzz_cmd;
             explain_cmd;
             serve_cmd;
             client_cmd;

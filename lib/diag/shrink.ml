@@ -76,10 +76,15 @@ let run_tid = function
   | (s : Witness.step) :: _ -> s.Witness.s_tid
   | [] -> -1
 
+(** Default candidate-execution budget; overridable per call (exposed on
+    the CLI as [--shrink-budget] by [casc repro] and [casc fuzz]). *)
+let default_max_attempts = 2000
+
 (** Shrink [w] against initial state [s0]. [max_attempts] bounds the
     number of candidate executions (the step budget: each execution costs
     at most the schedule length in semantics steps). *)
-let shrink ?(max_attempts = 2000) (s0 : Sem.state) (w : Witness.t) : report =
+let shrink ?(max_attempts = default_max_attempts) (s0 : Sem.state)
+    (w : Witness.t) : report =
   let attempts = ref 0 in
   let exhausted () = !attempts >= max_attempts in
   (* run a candidate; [Some executed] iff it reproduces the verdict *)

@@ -1,0 +1,282 @@
+(** Sized, seeded random program generation (ISSUE 9 tentpole, part 1).
+
+    Programs are generated as *source text* in the exact surface syntax
+    [Cas_langs.Parse] accepts — the generator's contract with the rest
+    of the fuzzer is "this string parses and is well-formed by
+    construction", and determinism is checked at the byte level: the
+    same [(seed, size)] pair yields the byte-identical string, because
+    every choice is drawn from one splittable [Cas_base.Rng] stream and
+    no global state is consulted.
+
+    Well-formedness disciplines (so failures mean bugs, not generator
+    noise):
+    - every local/register is initialized before its first read;
+    - loops run over a dedicated counter with a constant bound, so all
+      generated programs terminate structurally;
+    - memory accesses go only to declared scalars (never out of a
+      declared array), so the only aborts are semantic ones the oracles
+      must agree on;
+    - thread entry functions are nullary, named [t1..tn], and listed as
+      entries in that order, matching the world's tid assignment. *)
+
+open Cas_base
+
+type lang = Clight | Cimp
+
+let lang_to_string = function Clight -> "clight" | Cimp -> "cimp"
+
+let lang_of_string = function
+  | "clight" -> Ok Clight
+  | "cimp" -> Ok Cimp
+  | s -> Error (Fmt.str "unknown fuzz language %S (clight|cimp)" s)
+
+type t = {
+  g_lang : lang;
+  g_source : string;  (** parseable source text *)
+  g_entries : string list;  (** thread entry functions, in tid order *)
+  g_with_lock : bool;  (** link γ_lock when loading *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared expression rendering                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* every binop is parenthesized, so rendered text never depends on the
+   parser's precedence table *)
+let binops = [| "+"; "-"; "*"; "=="; "!="; "<"; "<="; "&"; "|"; "^" |]
+
+(** Integer-valued expression over the given readable atoms. *)
+let rec gen_expr rng ~depth ~(atoms : string array) : string =
+  if depth <= 0 || Rng.int rng 3 = 0 then
+    if Array.length atoms > 0 && Rng.bool rng then Rng.choose rng atoms
+    else string_of_int (Rng.int rng 10)
+  else
+    let op = Rng.choose rng binops in
+    let a = gen_expr rng ~depth:(depth - 1) ~atoms in
+    let b = gen_expr rng ~depth:(depth - 1) ~atoms in
+    Fmt.str "(%s %s %s)" a op b
+
+(* ------------------------------------------------------------------ *)
+(* mini-C (Clight surface)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Statement generation emits lines into [buf] at [indent]; [fuel] is
+   the size budget. Loops are never nested (each function has a single
+   dedicated counter), and lock sections are never nested either. *)
+let rec clight_stmts rng buf ~indent ~fuel ~atoms ~globals ~helpers
+    ~with_lock ~in_lock ~loop_ok =
+  if fuel <= 0 then ()
+  else begin
+    let pad = String.make indent ' ' in
+    let stmt_kind = Rng.int rng 12 in
+    let spent =
+      match stmt_kind with
+      | 0 | 1 ->
+        (* local update *)
+        Buffer.add_string buf
+          (Fmt.str "%sr = %s;\n" pad (gen_expr rng ~depth:2 ~atoms));
+        1
+      | 2 | 3 ->
+        (* shared write *)
+        let g = Rng.choose rng globals in
+        Buffer.add_string buf
+          (Fmt.str "%s%s = %s;\n" pad g (gen_expr rng ~depth:2 ~atoms));
+        1
+      | 4 ->
+        (* shared read-modify into the local *)
+        let g = Rng.choose rng globals in
+        Buffer.add_string buf
+          (Fmt.str "%sr = (r + %s);\n" pad g);
+        1
+      | 5 ->
+        Buffer.add_string buf
+          (Fmt.str "%sprint(%s);\n" pad (gen_expr rng ~depth:1 ~atoms));
+        1
+      | 6 when Array.length helpers > 0 ->
+        let h = Rng.choose rng helpers in
+        Buffer.add_string buf
+          (Fmt.str "%sr = %s(%s);\n" pad h (gen_expr rng ~depth:1 ~atoms));
+        1
+      | 7 ->
+        let cond = gen_expr rng ~depth:1 ~atoms in
+        Buffer.add_string buf (Fmt.str "%sif (%s) {\n" pad cond);
+        clight_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~atoms
+          ~globals ~helpers ~with_lock ~in_lock ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s} else {\n" pad);
+        clight_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~atoms
+          ~globals ~helpers ~with_lock ~in_lock ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s}\n" pad);
+        2
+      | 8 when loop_ok ->
+        let bound = 1 + Rng.int rng 2 in
+        Buffer.add_string buf (Fmt.str "%si = 0;\n" pad);
+        Buffer.add_string buf (Fmt.str "%swhile (i < %d) {\n" pad bound);
+        clight_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~atoms
+          ~globals ~helpers ~with_lock ~in_lock ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s  i = (i + 1);\n" pad);
+        Buffer.add_string buf (Fmt.str "%s}\n" pad);
+        2
+      | 9 when with_lock && not in_lock ->
+        Buffer.add_string buf (Fmt.str "%slock();\n" pad);
+        clight_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~atoms
+          ~globals ~helpers ~with_lock ~in_lock:true ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%sunlock();\n" pad);
+        2
+      | _ ->
+        (* mixed shared/local arithmetic *)
+        let g = Rng.choose rng globals in
+        Buffer.add_string buf
+          (Fmt.str "%s%s = (%s + r);\n" pad g (gen_expr rng ~depth:1 ~atoms));
+        1
+    in
+    clight_stmts rng buf ~indent ~fuel:(fuel - spent) ~atoms ~globals
+      ~helpers ~with_lock ~in_lock ~loop_ok
+  end
+
+let clight (rng : Rng.t) ~(size : int) : t =
+  let size = max 1 size in
+  let buf = Buffer.create 512 in
+  let n_globals = 2 + Rng.int rng 2 in
+  let n_threads = 1 + Rng.int rng 3 in
+  let n_helpers = Rng.int rng 2 in
+  let with_lock = Rng.int rng 4 = 0 in
+  let globals = Array.init n_globals (fun i -> Fmt.str "g%d" i) in
+  Array.iter
+    (fun g -> Buffer.add_string buf (Fmt.str "int %s = 0;\n" g))
+    globals;
+  Buffer.add_char buf '\n';
+  (* helpers are pure over their argument and locals: no shared traffic,
+     so cross-module call depth varies without blowing up interleavings *)
+  let helpers = Array.init n_helpers (fun i -> Fmt.str "h%d" i) in
+  Array.iter
+    (fun h ->
+      let hr = Rng.split rng in
+      Buffer.add_string buf (Fmt.str "int %s(int a) {\n" h);
+      Buffer.add_string buf "  int x;\n";
+      Buffer.add_string buf
+        (Fmt.str "  x = %s;\n" (gen_expr hr ~depth:2 ~atoms:[| "a" |]));
+      Buffer.add_string buf
+        (Fmt.str "  return %s;\n" (gen_expr hr ~depth:2 ~atoms:[| "a"; "x" |]));
+      Buffer.add_string buf "}\n\n")
+    helpers;
+  let entries = List.init n_threads (fun i -> Fmt.str "t%d" (i + 1)) in
+  List.iter
+    (fun name ->
+      let tr = Rng.split rng in
+      let atoms = Array.append [| "r"; "i" |] globals in
+      Buffer.add_string buf (Fmt.str "void %s() {\n" name);
+      Buffer.add_string buf "  int r;\n  int i;\n  r = 0;\n  i = 0;\n";
+      clight_stmts tr buf ~indent:2 ~fuel:(1 + Rng.int tr size) ~atoms
+        ~globals ~helpers ~with_lock ~in_lock:false ~loop_ok:true;
+      Buffer.add_string buf "}\n\n")
+    entries;
+  { g_lang = Clight; g_source = Buffer.contents buf; g_entries = entries;
+    g_with_lock = with_lock }
+
+(* ------------------------------------------------------------------ *)
+(* CImp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* CImp registers are thread-private; shared traffic is explicit loads
+   and stores on Object globals, optionally inside atomic blocks. *)
+let rec cimp_stmts rng buf ~indent ~fuel ~globals ~in_atomic ~loop_ok =
+  if fuel <= 0 then ()
+  else begin
+    let pad = String.make indent ' ' in
+    let atoms = [| "r"; "s"; "i" |] in
+    let stmt_kind = Rng.int rng 12 in
+    let spent =
+      match stmt_kind with
+      | 0 | 1 ->
+        Buffer.add_string buf
+          (Fmt.str "%sr := %s;\n" pad (gen_expr rng ~depth:2 ~atoms));
+        1
+      | 2 | 3 ->
+        let g = Rng.choose rng globals in
+        Buffer.add_string buf
+          (Fmt.str "%s[%s] := %s;\n" pad g (gen_expr rng ~depth:1 ~atoms));
+        1
+      | 4 | 5 ->
+        let g = Rng.choose rng globals in
+        let dst = Rng.choose rng [| "r"; "s" |] in
+        Buffer.add_string buf (Fmt.str "%s%s := [%s];\n" pad dst g);
+        1
+      | 6 when not in_atomic ->
+        (* atomic read-modify-write section *)
+        let g = Rng.choose rng globals in
+        Buffer.add_string buf (Fmt.str "%satomic {\n" pad);
+        Buffer.add_string buf (Fmt.str "%s  s := [%s];\n" pad g);
+        cimp_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~globals
+          ~in_atomic:true ~loop_ok:false;
+        Buffer.add_string buf
+          (Fmt.str "%s  [%s] := %s;\n" pad g (gen_expr rng ~depth:1 ~atoms));
+        Buffer.add_string buf (Fmt.str "%s}\n" pad);
+        2
+      | 7 when not in_atomic ->
+        Buffer.add_string buf
+          (Fmt.str "%sprint(%s);\n" pad (gen_expr rng ~depth:1 ~atoms));
+        1
+      | 8 ->
+        let cond = gen_expr rng ~depth:1 ~atoms in
+        Buffer.add_string buf (Fmt.str "%sif (%s) {\n" pad cond);
+        cimp_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~globals
+          ~in_atomic ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s} else {\n" pad);
+        cimp_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~globals
+          ~in_atomic ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s}\n" pad);
+        2
+      | 9 when loop_ok && not in_atomic ->
+        let bound = 1 + Rng.int rng 2 in
+        Buffer.add_string buf (Fmt.str "%si := 0;\n" pad);
+        Buffer.add_string buf (Fmt.str "%swhile (i < %d) {\n" pad bound);
+        cimp_stmts rng buf ~indent:(indent + 2) ~fuel:(fuel / 2) ~globals
+          ~in_atomic ~loop_ok:false;
+        Buffer.add_string buf (Fmt.str "%s  i := (i + 1);\n" pad);
+        Buffer.add_string buf (Fmt.str "%s}\n" pad);
+        2
+      | 10 when Rng.int rng 4 = 0 ->
+        (* asserts over register arithmetic: may legitimately fail, in
+           which case every oracle must agree on abort reachability *)
+        Buffer.add_string buf
+          (Fmt.str "%sassert((%s >= 0));\n" pad
+             (gen_expr rng ~depth:1 ~atoms:[| "r"; "i" |]));
+        1
+      | _ ->
+        Buffer.add_string buf
+          (Fmt.str "%ss := (r + %s);\n" pad (gen_expr rng ~depth:1 ~atoms));
+        1
+    in
+    cimp_stmts rng buf ~indent ~fuel:(fuel - spent) ~globals ~in_atomic
+      ~loop_ok
+  end
+
+let cimp (rng : Rng.t) ~(size : int) : t =
+  let size = max 1 size in
+  let buf = Buffer.create 512 in
+  let n_globals = 2 + Rng.int rng 2 in
+  let n_threads = 1 + Rng.int rng 3 in
+  let globals = Array.init n_globals (fun i -> Fmt.str "x%d" i) in
+  Array.iter
+    (fun g -> Buffer.add_string buf (Fmt.str "object int %s = 0;\n" g))
+    globals;
+  Buffer.add_char buf '\n';
+  let entries = List.init n_threads (fun i -> Fmt.str "t%d" (i + 1)) in
+  List.iter
+    (fun name ->
+      let tr = Rng.split rng in
+      Buffer.add_string buf (Fmt.str "void %s() {\n" name);
+      Buffer.add_string buf "  r := 0;\n  s := 0;\n  i := 0;\n";
+      cimp_stmts tr buf ~indent:2 ~fuel:(1 + Rng.int tr size) ~globals
+        ~in_atomic:false ~loop_ok:true;
+      Buffer.add_string buf "  return;\n";
+      Buffer.add_string buf "}\n\n")
+    entries;
+  { g_lang = Cimp; g_source = Buffer.contents buf; g_entries = entries;
+    g_with_lock = false }
+
+(** Generate the [i]th program of a campaign: one split per index off
+    the campaign master stream, so program [i] is a function of
+    [(seed, size, lang, i)] alone. *)
+let program ~(lang : lang) (rng : Rng.t) ~(size : int) : t =
+  match lang with Clight -> clight rng ~size | Cimp -> cimp rng ~size

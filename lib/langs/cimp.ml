@@ -33,6 +33,7 @@ type stmt =
   | Swhile of expr * stmt
   | Satomic of stmt  (** ⟨s⟩ *)
   | Sassert of expr
+  | Sprint of expr  (** print(e) — the built-in observable output *)
   | Sreturn of expr option
 
 type func = { fname : string; fparams : string list; fbody : stmt }
@@ -61,6 +62,7 @@ let rec pp_stmt ppf = function
   | Swhile (e, s) -> Fmt.pf ppf "while (%a) {%a}" pp_expr e pp_stmt s
   | Satomic s -> Fmt.pf ppf "<%a>" pp_stmt s
   | Sassert e -> Fmt.pf ppf "assert(%a)" pp_expr e
+  | Sprint e -> Fmt.pf ppf "print(%a)" pp_expr e
   | Sreturn None -> Fmt.string ppf "return"
   | Sreturn (Some e) -> Fmt.pf ppf "return %a" pp_expr e
 
@@ -146,6 +148,15 @@ let step (_fl : Flist.t) (c : core) (m : Memory.t) : core Lang.succ list =
   | Sassert e, k ->
     if Value.is_true (eval c.genv c.env e) then tau Sskip k c.env
     else [ Lang.Stuck_abort ]
+  | Sprint e, k ->
+    (* The world semantics handles [Call ("print", [Vint n])] itself and
+       fires the [Print] event; [after_external] below resumes at the
+       already-installed [Sskip]. A non-integer argument falls through
+       to call resolution and aborts, like Clight's print. *)
+    let v = eval c.genv c.env e in
+    [ Lang.Next
+        (Msg.Call ("print", [ v ]), Footprint.empty, { c with cur = Sskip; k }, m)
+    ]
   | Sreturn eo, _ ->
     (* Returns are only legal outside atomic blocks; inside one, the
        program is stuck (= abort). *)
@@ -233,6 +244,9 @@ let rec hash_stmt st = function
   | Sassert e ->
     Hashx.char st '8';
     hash_expr st e
+  | Sprint e ->
+    Hashx.char st 'P';
+    hash_expr st e
   | Sreturn None -> Hashx.char st '9'
   | Sreturn (Some e) ->
     Hashx.char st 'R';
@@ -283,7 +297,11 @@ let lang : (program, core) Lang.t =
     name = "CImp";
     init_core;
     step;
-    after_external = (fun _ _ -> None);
+    after_external =
+      (* CImp makes no cross-module calls, so the only external to resume
+         from is the built-in [print] (ret = None); [step] has already
+         installed the continuation core. *)
+      (fun c ret -> match ret with None -> Some c | Some _ -> None);
     fingerprint_core;
     hash_core;
     hash_fundef;

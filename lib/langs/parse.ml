@@ -488,18 +488,27 @@ module Cimp_parser = struct
       Cimp.Sstore (addr, e)
     | L.IDENT x, _ -> (
       ignore (L.next lx);
-      L.expect_punct lx ":=";
-      match L.peek lx with
-      | L.PUNCT "[", _ ->
-        ignore (L.next lx);
-        let addr = parse_expr ctx lx in
-        L.expect_punct lx "]";
-        L.expect_punct lx ";";
-        Cimp.Sload (x, addr)
-      | _ ->
+      if x = "print" && L.accept_punct lx "(" then begin
+        (* print(e); — the built-in observable output, as in mini-C *)
         let e = parse_expr ctx lx in
+        L.expect_punct lx ")";
         L.expect_punct lx ";";
-        Cimp.Sassign (x, e))
+        Cimp.Sprint e
+      end
+      else begin
+        L.expect_punct lx ":=";
+        match L.peek lx with
+        | L.PUNCT "[", _ ->
+          ignore (L.next lx);
+          let addr = parse_expr ctx lx in
+          L.expect_punct lx "]";
+          L.expect_punct lx ";";
+          Cimp.Sload (x, addr)
+        | _ ->
+          let e = parse_expr ctx lx in
+          L.expect_punct lx ";";
+          Cimp.Sassign (x, e)
+      end)
     | t, p ->
       raise (Error (Fmt.str "unexpected %a in CImp statement" L.pp_token t, p))
 

@@ -1,0 +1,406 @@
+(** Tests for [Cas_fuzz] (ISSUE 9): generator determinism and
+    well-formedness, witness back-translation round-trips (unit and
+    qcheck-shaped over synthetic schedules), the injected-miscompile
+    pipeline (inject → compiler oracle → shrink → back-translate →
+    replay), the checked-in repro corpus, and campaign determinism. *)
+
+open Cas_base
+module Gen = Cas_fuzz.Gen
+module Backtrans = Cas_fuzz.Backtrans
+module Driver = Cas_fuzz.Driver
+module Witness = Cas_diag.Witness
+
+(* ------------------------------------------------------------------ *)
+(* Generator: determinism + well-formedness                            *)
+(* ------------------------------------------------------------------ *)
+
+let seeds = [ 1; 2; 7; 42; 1337; 20260807 ]
+
+(* (seed, size) fully determines the program: regenerating from a fresh
+   [Rng.make] of the same seed is byte-identical *)
+let test_gen_deterministic () =
+  List.iter
+    (fun lang ->
+      List.iter
+        (fun seed ->
+          let gen () = Gen.program ~lang (Rng.make ~seed) ~size:8 in
+          let g1 = gen () and g2 = gen () in
+          Alcotest.(check string)
+            (Fmt.str "%s seed %d source" (Gen.lang_to_string lang) seed)
+            g1.Gen.g_source g2.Gen.g_source;
+          Alcotest.(check (list string))
+            (Fmt.str "%s seed %d entries" (Gen.lang_to_string lang) seed)
+            g1.Gen.g_entries g2.Gen.g_entries;
+          Alcotest.(check bool)
+            (Fmt.str "%s seed %d with_lock" (Gen.lang_to_string lang) seed)
+            g1.Gen.g_with_lock g2.Gen.g_with_lock)
+        seeds)
+    [ Gen.Clight; Gen.Cimp ]
+
+(* different seeds actually explore the space (no stream aliasing) *)
+let test_gen_distinct () =
+  List.iter
+    (fun lang ->
+      let sources =
+        List.map
+          (fun seed ->
+            (Gen.program ~lang (Rng.make ~seed) ~size:8).Gen.g_source)
+          seeds
+      in
+      Alcotest.(check int)
+        (Fmt.str "%s distinct sources" (Gen.lang_to_string lang))
+        (List.length seeds)
+        (List.length (List.sort_uniq compare sources)))
+    [ Gen.Clight; Gen.Cimp ]
+
+(* every generated program parses and loads: well-formedness by
+   construction *)
+let test_gen_wellformed () =
+  for seed = 1 to 40 do
+    let gc = Gen.program ~lang:Gen.Clight (Rng.make ~seed) ~size:8 in
+    let client = Cas_langs.Parse.clight gc.Gen.g_source in
+    let mods =
+      if gc.Gen.g_with_lock then
+        [
+          Lang.Mod (Cas_langs.Clight.lang, client);
+          Lang.Mod (Cas_langs.Cimp.lang, Cas_langs.Cimp.gamma_lock ());
+        ]
+      else [ Lang.Mod (Cas_langs.Clight.lang, client) ]
+    in
+    (match
+       Cas_conc.World.load (Lang.prog mods gc.Gen.g_entries) ~args:[]
+     with
+    | Ok _ -> ()
+    | Error e ->
+      Alcotest.failf "clight seed %d: load: %a" seed
+        Cas_conc.World.pp_load_error e);
+    let gi = Gen.program ~lang:Gen.Cimp (Rng.make ~seed) ~size:8 in
+    let obj = Cas_langs.Parse.cimp gi.Gen.g_source in
+    match
+      Cas_conc.World.load
+        (Lang.prog [ Lang.Mod (Cas_langs.Cimp.lang, obj) ] gi.Gen.g_entries)
+        ~args:[]
+    with
+    | Ok _ -> ()
+    | Error e ->
+      Alcotest.failf "cimp seed %d: load: %a" seed
+        Cas_conc.World.pp_load_error e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Back-translation: unit round-trips                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mk_step ?event tid =
+  {
+    Witness.s_tid = tid;
+    s_event = event;
+    s_reads = [];
+    s_writes = [];
+    s_flush = false;
+    s_dst = "";
+  }
+
+let mk_witness ?(semantics = Witness.Sc) ~n ~verdict steps =
+  Witness.make ~program:"(synthetic)"
+    ~entries:(List.init n (fun i -> Fmt.str "t%d" (i + 1)))
+    ~with_lock:false ~semantics ~engine:"naive" ~seed:0 ~verdict steps
+
+let roundtrip ?budget name wit =
+  match Backtrans.of_witness wit with
+  | Error e -> Alcotest.failf "%s: back-translation: %s" name e
+  | Ok repro -> (
+    (* the emitted source parses back to the same entries + verdict *)
+    (match Backtrans.of_string repro.Backtrans.r_source with
+    | Error e -> Alcotest.failf "%s: of_string: %s" name e
+    | Ok r' ->
+      Alcotest.(check (list string))
+        (name ^ " entries survive the file round-trip")
+        repro.Backtrans.r_entries r'.Backtrans.r_entries;
+      Alcotest.(check bool)
+        (name ^ " verdict survives the file round-trip")
+        true
+        (repro.Backtrans.r_verdict = r'.Backtrans.r_verdict));
+    match Backtrans.replay ?budget repro with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: replay: %s" name e)
+
+let test_roundtrip_refine () =
+  let steps =
+    [
+      mk_step 1 ~event:(Event.Print 3);
+      mk_step 2 ~event:(Event.Print (-1));
+      mk_step 1 ~event:(Event.Print 7);
+    ]
+  in
+  roundtrip "refine"
+    (mk_witness ~n:2
+       ~verdict:
+         (Witness.Vrefine [ Event.Print 3; Event.Print (-1); Event.Print 7 ])
+       steps)
+
+let test_roundtrip_abort () =
+  (* the abort is attributed to the tid of the last schedule step *)
+  let steps = [ mk_step 1 ~event:(Event.Print 5); mk_step 2 ] in
+  roundtrip "abort" (mk_witness ~n:2 ~verdict:Witness.Vabort steps)
+
+let test_roundtrip_race () =
+  let steps = [ mk_step 2 ~event:(Event.Print 9) ] in
+  roundtrip "race" (mk_witness ~n:2 ~verdict:(Witness.Vrace (1, 2)) steps)
+
+let test_backtrans_rejects () =
+  (* TSO witnesses and Out events have no CImp image *)
+  (match
+     Backtrans.of_witness
+       (mk_witness ~semantics:Witness.Tso ~n:1 ~verdict:Witness.Vabort [])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "TSO witness must be rejected");
+  (match
+     Backtrans.of_witness
+       (mk_witness ~n:1
+          ~verdict:(Witness.Vrefine [ Event.Out "x" ])
+          [ mk_step 1 ~event:(Event.Out "x") ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "Out event must be rejected");
+  match
+    Backtrans.of_witness
+      (mk_witness ~n:2 ~verdict:(Witness.Vrace (1, 1)) [ mk_step 1 ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "degenerate race pair must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Back-translation: qcheck over synthetic schedules                   *)
+(* ------------------------------------------------------------------ *)
+
+(* a random schedule: up to 2 threads, up to 4 prints, one of the three
+   verdict shapes — the back-translated program must replay to exactly
+   the recorded verdict under a fresh exploration *)
+let arb_schedule =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 2 >>= fun n ->
+    list_size (int_bound 4)
+      (pair (int_range 1 n) (int_range (-9) 20))
+    >>= fun prints ->
+    (if n = 2 then oneofl [ `Refine; `Abort; `Race ]
+     else oneofl [ `Refine; `Abort ])
+    >>= fun kind -> return (n, prints, kind)
+  in
+  let print_schedule (n, prints, kind) =
+    Fmt.str "n=%d prints=[%s] kind=%s" n
+      (String.concat ";"
+         (List.map (fun (t, v) -> Fmt.str "t%d!%d" t v) prints))
+      (match kind with
+      | `Refine -> "refine"
+      | `Abort -> "abort"
+      | `Race -> "race")
+  in
+  QCheck.make ~print:print_schedule gen
+
+let witness_of_schedule (n, prints, kind) =
+  let steps = List.map (fun (t, v) -> mk_step t ~event:(Event.Print v)) prints in
+  match kind with
+  | `Refine ->
+    mk_witness ~n
+      ~verdict:(Witness.Vrefine (List.map (fun (_, v) -> Event.Print v) prints))
+      steps
+  | `Abort ->
+    (* pin the aborting thread by appending an event-free step *)
+    mk_witness ~n ~verdict:Witness.Vabort (steps @ [ mk_step n ])
+  | `Race -> mk_witness ~n ~verdict:(Witness.Vrace (1, 2)) steps
+
+let prop_backtrans_roundtrip =
+  QCheck.Test.make
+    ~name:"back-translated witness replays to the recorded verdict" ~count:40
+    arb_schedule (fun sched ->
+      match Backtrans.of_witness (witness_of_schedule sched) with
+      | Error e -> QCheck.Test.fail_reportf "back-translation: %s" e
+      | Ok repro -> (
+        match Backtrans.replay repro with
+        | Ok () -> true
+        | Error e -> QCheck.Test.fail_reportf "replay: %s" e))
+
+(* ------------------------------------------------------------------ *)
+(* Injected miscompile end to end                                      *)
+(* ------------------------------------------------------------------ *)
+
+let inject_src =
+  {|
+  int g = 0;
+  void main() {
+    int r;
+    r = 3;
+    g = r + 4;
+    print(g);
+  }
+|}
+
+(* the deliberately broken pass must be caught by the compiler oracle,
+   and the divergence must shrink + back-translate to a standalone repro
+   that replays to the same verdict *)
+let test_injected_divergence () =
+  let client = Cas_langs.Parse.clight inject_src in
+  let g =
+    {
+      Gen.g_lang = Gen.Clight;
+      g_source = inject_src;
+      g_entries = [ "main" ];
+      g_with_lock = false;
+    }
+  in
+  let load m =
+    match
+      Cas_conc.World.load (Lang.prog [ m ] [ "main" ]) ~args:[]
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "load: %a" Cas_conc.World.pp_load_error e
+  in
+  let src_w0 = load (Lang.Mod (Cas_langs.Clight.lang, client)) in
+  let tgt_w0 =
+    load
+      (Lang.Mod
+         ( Cas_langs.Asm.lang,
+           Cas_compiler.Driver.compile (Driver.inject_print client) ))
+  in
+  let o = Driver.compiler_oracle ~budget:20_000 ~g ~src_w0 ~tgt_w0 in
+  Alcotest.(check string)
+    "bucket" "verdict-divergence"
+    (Driver.bucket_name o.Driver.o_bucket);
+  match o.Driver.o_witness with
+  | None -> Alcotest.fail "divergence carries no witness"
+  | Some (wit, s0) -> (
+    let sh = Cas_diag.Shrink.shrink ~max_attempts:500 s0 wit in
+    match Backtrans.of_witness sh.Cas_diag.Shrink.sh_witness with
+    | Error e -> Alcotest.failf "back-translation: %s" e
+    | Ok repro -> (
+      Alcotest.(check bool)
+        "repro records the witness verdict" true
+        (repro.Backtrans.r_verdict = wit.Witness.verdict);
+      match Backtrans.replay repro with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "repro replay: %s" e))
+
+(* the unperturbed program must pass the same oracle *)
+let test_uninjected_agrees () =
+  let client = Cas_langs.Parse.clight inject_src in
+  let g =
+    {
+      Gen.g_lang = Gen.Clight;
+      g_source = inject_src;
+      g_entries = [ "main" ];
+      g_with_lock = false;
+    }
+  in
+  let load m =
+    match
+      Cas_conc.World.load (Lang.prog [ m ] [ "main" ]) ~args:[]
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "load: %a" Cas_conc.World.pp_load_error e
+  in
+  let src_w0 = load (Lang.Mod (Cas_langs.Clight.lang, client)) in
+  let tgt_w0 =
+    load
+      (Lang.Mod (Cas_langs.Asm.lang, Cas_compiler.Driver.compile client))
+  in
+  let o = Driver.compiler_oracle ~budget:20_000 ~g ~src_w0 ~tgt_w0 in
+  Alcotest.(check string)
+    "bucket" "agree"
+    (Driver.bucket_name o.Driver.o_bucket)
+
+(* ------------------------------------------------------------------ *)
+(* Checked-in repro corpus                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [dune runtest] runs in the test directory, [dune exec] from the
+   project root — accept either *)
+let corpus_dir =
+  let local = Filename.concat "corpus" "fuzz" in
+  if Sys.file_exists local then local else Filename.concat "test" local
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cimp")
+  |> List.sort compare
+
+(* every checked-in minimized repro still replays to its recorded
+   verdict — the regression gate for past divergences *)
+let test_corpus_replays () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let path = Filename.concat corpus_dir f in
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Backtrans.of_string src with
+      | Error e -> Alcotest.failf "%s: %s" f e
+      | Ok repro -> (
+        match Backtrans.replay repro with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: replay: %s" f e))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* the whole triage report is a pure function of the campaign
+   parameters: two runs emit byte-identical JSON *)
+let test_campaign_deterministic () =
+  let run () =
+    Cas_diag.Json.to_string
+      (Driver.report_to_json
+         (Driver.run ~size:6 ~budget:5_000 ~seed:11 ~count:4 Gen.Clight))
+  in
+  Alcotest.(check string) "identical reports" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (try int_of_string s with _ -> 0x5ca1ab1e)
+  | None -> 0x5ca1ab1e
+
+let () =
+  let rand = Random.State.make [| qcheck_seed |] in
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "same seed, same program" `Quick
+            test_gen_deterministic;
+          Alcotest.test_case "distinct seeds, distinct programs" `Quick
+            test_gen_distinct;
+          Alcotest.test_case "generated programs parse and load" `Quick
+            test_gen_wellformed;
+        ] );
+      ( "backtrans",
+        [
+          Alcotest.test_case "refine round-trip" `Quick test_roundtrip_refine;
+          Alcotest.test_case "abort round-trip" `Quick test_roundtrip_abort;
+          Alcotest.test_case "race round-trip" `Quick test_roundtrip_race;
+          Alcotest.test_case "rejects TSO / Out / degenerate race" `Quick
+            test_backtrans_rejects;
+          QCheck_alcotest.to_alcotest ~rand prop_backtrans_roundtrip;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "injected miscompile shrinks to a repro" `Slow
+            test_injected_divergence;
+          Alcotest.test_case "unperturbed compile agrees" `Slow
+            test_uninjected_agrees;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "checked-in repros replay" `Slow
+            test_corpus_replays ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "report is deterministic" `Slow
+            test_campaign_deterministic;
+        ] );
+    ]
