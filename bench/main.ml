@@ -978,8 +978,12 @@ let hotpath () =
     gate compares against BENCH_BASELINE.json. Best-of-N minimum, as in
     the diag section: exploration is deterministic and the minimum is
     the noise-robust estimator. *)
-let explore_section () =
+let explore_section ~jobs () =
   Fmt.pr "@.=== EXPLORE — wall-clock exploration (regression-gated) ===@.";
+  let jobs =
+    match jobs with Some j -> j | None -> max 2 (Cas_base.Pool.default_jobs ())
+  in
+  let cores = Domain.recommended_domain_count () in
   let progs =
     [
       ("lock-counter", Corpus.lock_counter_prog ());
@@ -1000,7 +1004,7 @@ let explore_section () =
     ]
   in
   let rounds = 7 in
-  Fmt.pr "best of %d (wall clock):@." rounds;
+  Fmt.pr "best of %d (wall clock), dpor-par on %d domains:@." rounds jobs;
   let measure name f =
     f ();
     (* warm up *)
@@ -1013,37 +1017,92 @@ let explore_section () =
       if dt < !best then best := dt
     done;
     json_benchmarks := (name, rounds, !best) :: !json_benchmarks;
-    Fmt.pr "  %-40s %a@." name pp_ns !best
+    Fmt.pr "  %-40s %a@." name pp_ns !best;
+    !best
   in
+  let t_dpor3 = ref nan and t_par3 = ref nan in
   List.iter
     (fun (pname, p) ->
       match World.load p ~args:[] with
       | Error _ -> ()
       | Ok w ->
-        measure
-          (Fmt.str "explore dpor:%s" pname)
-          (fun () ->
-            ignore
-              (Engine.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
-                 ~visit:(fun _ -> ())));
-        measure
-          (Fmt.str "explore drf-dpor:%s" pname)
-          (fun () -> ignore (Race.drf ~engine:Engine.Dpor w));
-        if pname = "lock-counter-3" then begin
+        (* correctness gates first, on every gated program: the optimal
+           source-DPOR invariants are cheap to check — no schedule may
+           end sleep-set-blocked, and the visited world set must be
+           steal-invariant (dpor-par at any jobs count agrees with
+           sequential dpor world for world) *)
+        let st_dpor =
+          Engine.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
+            ~visit:(fun _ -> ())
+        in
+        let st_par =
+          Engine.explore ~engine:Engine.Dpor_par ~jobs ~max_worlds:400_000 w
+            ~visit:(fun _ -> ())
+        in
+        record_worlds ~program:pname ~engine:"dpor" st_dpor.Cas_mc.Stats.worlds;
+        record_worlds ~program:pname ~engine:"dpor-par"
+          st_par.Cas_mc.Stats.worlds;
+        if st_dpor.Cas_mc.Stats.sleep_prunings <> 0 then
+          Fmt.failwith "explore %s: dpor left %d sleep-set-blocked schedules"
+            pname st_dpor.Cas_mc.Stats.sleep_prunings;
+        if st_par.Cas_mc.Stats.sleep_prunings <> 0 then
+          Fmt.failwith
+            "explore %s: dpor-par(%d) left %d sleep-set-blocked schedules"
+            pname jobs st_par.Cas_mc.Stats.sleep_prunings;
+        if st_par.Cas_mc.Stats.worlds <> st_dpor.Cas_mc.Stats.worlds then
+          Fmt.failwith
+            "explore %s: dpor-par(%d) visited %d worlds, dpor %d — the \
+             visited world set must be steal-invariant"
+            pname jobs st_par.Cas_mc.Stats.worlds st_dpor.Cas_mc.Stats.worlds;
+        let t =
           measure
-            (Fmt.str "explore dpor-par:%s" pname)
+            (Fmt.str "explore dpor:%s" pname)
             (fun () ->
               ignore
-                (Engine.explore ~engine:Engine.Dpor_par ~max_worlds:400_000 w
-                   ~visit:(fun _ -> ())));
-          measure
-            (Fmt.str "explore naive:%s" pname)
-            (fun () ->
-              ignore
-                (Engine.explore ~engine:Engine.Naive ~max_worlds:400_000 w
+                (Engine.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
                    ~visit:(fun _ -> ())))
+        in
+        ignore
+          (measure
+             (Fmt.str "explore drf-dpor:%s" pname)
+             (fun () -> ignore (Race.drf ~engine:Engine.Dpor w)));
+        if pname = "lock-counter-3" then begin
+          t_dpor3 := t;
+          t_par3 :=
+            measure
+              (Fmt.str "explore dpor-par:%s" pname)
+              (fun () ->
+                ignore
+                  (Engine.explore ~engine:Engine.Dpor_par ~jobs
+                     ~max_worlds:400_000 w ~visit:(fun _ -> ())));
+          ignore
+            (measure
+               (Fmt.str "explore naive:%s" pname)
+               (fun () ->
+                 ignore
+                   (Engine.explore ~engine:Engine.Naive ~max_worlds:400_000 w
+                      ~visit:(fun _ -> ()))))
         end)
     progs;
+  (* parallel speedup gate, self-conditioned on the machine: a 1-core
+     container cannot speed anything up, so the wall-clock gate only
+     arms when the domains can actually run in parallel. The
+     correctness gates above always run. *)
+  if cores >= 2 && jobs >= 2 then begin
+    let need = if jobs >= 8 && cores >= 8 then 3.0 else 1.6 in
+    let sp = !t_dpor3 /. !t_par3 in
+    Fmt.pr "  dpor-par(%d) speedup on lock-counter-3: %.2fx (gate: %.1fx)@."
+      jobs sp need;
+    if sp < need then
+      Fmt.failwith
+        "explore: dpor-par(%d) speedup on lock-counter-3 is %.2fx, gate %.1fx"
+        jobs sp need
+  end
+  else
+    Fmt.pr
+      "  speedup gate skipped: %d core%s available (correctness gates ran)@."
+      cores
+      (if cores = 1 then "" else "s");
   (* the TSO machine shares Memory and the fingerprint scheme; gate it too *)
   let client = Cas_compiler.Driver.compile (Corpus.counter ()) in
   match
@@ -1051,11 +1110,11 @@ let explore_section () =
   with
   | Error _ -> ()
   | Ok w ->
-    measure "explore tso-dpor:TTAS+fence" (fun () ->
+    ignore @@ measure "explore tso-dpor:TTAS+fence" (fun () ->
         ignore
           (Cas_tso.Tso.explore ~engine:Engine.Dpor ~max_worlds:400_000 w
              ~visit:(fun _ -> ())));
-    measure "explore tso-naive:TTAS+fence" (fun () ->
+    ignore @@ measure "explore tso-naive:TTAS+fence" (fun () ->
         ignore
           (Cas_tso.Tso.explore ~engine:Engine.Naive ~max_worlds:400_000 w
              ~visit:(fun _ -> ())))
@@ -1359,9 +1418,34 @@ let serve_section () =
 (* --baseline FILE: regression gate against committed numbers           *)
 (* ------------------------------------------------------------------ *)
 
-(** Extract (name, ns_per_run) rows from a previous [--json] dump. The
-    repo's [Cas_diag.Json] parser is integer-only by design, so this is
-    a line-oriented scan of our own fixed output format. *)
+(* line-oriented field scan of our own fixed --json output format (the
+   repo's [Cas_diag.Json] parser is integer-only by design) *)
+let find_field line key =
+  let pat = Fmt.str "\"%s\": " key in
+  match
+    let plen = String.length pat in
+    let rec at i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else at (i + 1)
+    in
+    at 0
+  with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length line
+      && not (List.mem line.[!stop] [ ','; '}'; '\n' ])
+    do
+      incr stop
+    done;
+    Some (String.sub line start (!stop - start))
+
+let unquote s =
+  if String.length s >= 2 then String.sub s 1 (String.length s - 2) else s
+
+(** Extract (name, ns_per_run) rows from a previous [--json] dump. *)
 let read_baseline path : (string * float) list =
   let ic = open_in path in
   let rows = ref [] in
@@ -1372,37 +1456,42 @@ let read_baseline path : (string * float) list =
   (try
      while true do
        let line = input_line ic in
-       let find_field key =
-         let pat = Fmt.str "\"%s\": " key in
-         match
-           let plen = String.length pat in
-           let rec at i =
-             if i + plen > String.length line then None
-             else if String.sub line i plen = pat then Some (i + plen)
-             else at (i + 1)
-           in
-           at 0
-         with
-         | None -> None
-         | Some start ->
-           let stop = ref start in
-           while
-             !stop < String.length line
-             && not (List.mem line.[!stop] [ ','; '}'; '\n' ])
-           do
-             incr stop
-           done;
-           Some (String.sub line start (!stop - start))
-       in
-       (match find_field "name" with
-       | Some name when String.length name >= 2 ->
-         (* strip the surrounding quotes of the name *)
-         pending := Some (String.sub name 1 (String.length name - 2))
+       (match find_field line "name" with
+       | Some name when String.length name >= 2 -> pending := Some (unquote name)
        | _ -> ());
-       match (!pending, find_field "ns_per_run") with
+       match (!pending, find_field line "ns_per_run") with
        | Some name, Some ns ->
          rows := (name, float_of_string (String.trim ns)) :: !rows;
          pending := None
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+(** Extract (program, engine, worlds) rows from the "worlds" section of
+    a previous [--json] dump. *)
+let read_baseline_worlds path : (string * string * int) list =
+  let ic = open_in path in
+  let rows = ref [] in
+  let prog = ref None and eng = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       (match find_field line "program" with
+       | Some p when String.length p >= 2 -> prog := Some (unquote p)
+       | _ -> ());
+       (match find_field line "engine" with
+       | Some e when String.length e >= 2 -> eng := Some (unquote e)
+       | _ -> ());
+       match (!prog, !eng, find_field line "worlds") with
+       | Some p, Some e, Some w -> (
+         (* the "worlds" section header matches the key too; skip it *)
+         match int_of_string_opt (String.trim w) with
+         | Some n ->
+           rows := (p, e, n) :: !rows;
+           prog := None;
+           eng := None
+         | None -> ())
        | _ -> ()
      done
    with End_of_file -> close_in ic);
@@ -1469,6 +1558,14 @@ let check_baseline ~path ~tolerance =
   let current =
     List.filter (fun (n, _, _) -> is_explore n) (List.rev !json_benchmarks)
   in
+  (* the symmetric failure: a run that produced no gated rows (a typo'd
+     --only, a section that silently bailed) must not pass either *)
+  if current = [] then begin
+    Fmt.epr
+      "bench-regress: this run produced no \"explore\" rows to gate (run \
+       with --only explore or no --only)@.";
+    exit 1
+  end;
   Fmt.pr "@.--- baseline comparison (%s, tolerance %.0f%%) ---@." path
     tolerance;
   Fmt.pr "  %-40s %11s %11s %8s@." "section" "baseline" "now" "speedup";
@@ -1497,7 +1594,34 @@ let check_baseline ~path ~tolerance =
       !regressed;
     exit 1
   end;
-  Fmt.pr "  gate: ok@."
+  (* world-count gate: wall clock is noisy, world counts are exact. For
+     every (program, engine) pair both sides measured, the reduction
+     must never lose ground on the committed baseline. *)
+  let base_worlds = read_baseline_worlds path in
+  let cur_worlds = List.rev !json_worlds in
+  let grew = ref [] in
+  List.iter
+    (fun (p, e, w) ->
+      match
+        List.find_opt (fun (bp, be, _) -> bp = p && be = e) base_worlds
+      with
+      | Some (_, _, bw) when w > bw ->
+        grew := Fmt.str "%s/%s %d -> %d" p e bw w :: !grew
+      | _ -> ())
+    cur_worlds;
+  if !grew <> [] then begin
+    Fmt.epr "@.bench-regress: world counts grew over the baseline: %a@."
+      Fmt.(list ~sep:comma string)
+      !grew;
+    exit 1
+  end;
+  if base_worlds <> [] && cur_worlds = [] then begin
+    Fmt.epr
+      "bench-regress: baseline has world counts but this run recorded none@.";
+    exit 1
+  end;
+  Fmt.pr "  gate: ok (%d timing rows, %d world counts)@." (List.length current)
+    (List.length cur_worlds)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1535,6 +1659,14 @@ let () =
     in
     find argv
   in
+  let cli_jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> Some (int_of_string n)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
   let sections =
     [
       ("fig13", fig13);
@@ -1547,7 +1679,7 @@ let () =
       ("link", link_section);
       ("recert", recert_section);
       ("hotpath", hotpath);
-      ("explore", explore_section);
+      ("explore", explore_section ~jobs:cli_jobs);
       ("serve", serve_section);
       ("fuzz", fuzz_section);
     ]

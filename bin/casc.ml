@@ -112,6 +112,23 @@ let jobs_arg =
            1) and for $(b,compile) per-module builds (default: 1); must be \
            at least 1")
 
+(* oversubscribing --jobs is never an error (the schedulers are
+   correct at any count) but it is never what the user wants either:
+   extra domains contend on the deques and the canonical store instead
+   of exploring.  Warn once, on stderr, and keep the requested count. *)
+let validate_jobs (jobs : int option) : int option =
+  Option.iter
+    (fun j ->
+      let cores = Domain.recommended_domain_count () in
+      if j > cores then
+        Fmt.epr
+          "warning: --jobs %d exceeds the %d core%s available; extra domains \
+           contend rather than explore@."
+          j cores
+          (if cores = 1 then "" else "s"))
+    jobs;
+  jobs
+
 let paranoid_arg =
   Arg.(
     value & flag
@@ -660,8 +677,54 @@ let run_cmd =
     Term.(const run $ file_arg $ entries_arg $ with_lock_arg $ compiled_arg)
 
 let drf_cmd =
-  let run file entries with_lock engine jobs witness paranoid =
+  (* --json emits only the steal-invariant facts of a run: verdict,
+     engine, distinct-world count, and the canonical (minimal-key)
+     witness.  Steal counts and wall time are deliberately absent —
+     three runs of [casc drf --json] at any jobs count must be
+     byte-identical, and CI holds us to that. *)
+  let drf_json ~engine (r : Race.drf_report) : Cas_diag.Json.t =
+    let open Cas_diag.Json in
+    let worlds, engine_s =
+      match r.Race.engine_stats with
+      | Some st -> (st.Cas_mc.Stats.worlds, st.Cas_mc.Stats.engine)
+      | None -> (r.Race.stats.Explore.visited, Engine.to_string engine)
+    in
+    let witness =
+      match (r.Race.witness_world, r.Race.witness) with
+      | Some w, Some wt -> Str (Race.witness_key w wt)
+      | _ -> Null
+    in
+    Obj
+      [
+        ("drf", Bool r.Race.drf);
+        ("engine", Str engine_s);
+        ("worlds", Int worlds);
+        ("witness", witness);
+      ]
+  in
+  let drf_json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "print the verdict as a JSON object of steal-invariant fields \
+             (drf, engine, worlds, witness key) instead of the human \
+             report; byte-identical across runs at any $(b,--jobs) count")
+  in
+  let run file entries with_lock engine jobs json witness paranoid =
     Fpmode.set_paranoid paranoid;
+    let jobs = validate_jobs jobs in
+    let emit r =
+      if json then
+        Fmt.pr "%s@." (Cas_diag.Json.to_string (drf_json ~engine r))
+      else begin
+        Fmt.pr "%a@." Race.pp_drf_report r;
+        Option.iter
+          (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
+          r.Race.engine_stats
+      end;
+      if r.Race.drf then 0 else 2
+    in
     if is_image file then
       match Cas_link.Image.load ~file with
       | Error e ->
@@ -677,13 +740,7 @@ let drf_cmd =
         | Error e ->
           Fmt.epr "load error: %a@." World.pp_load_error e;
           1
-        | Ok w ->
-          let r = Race.drf ~engine ?jobs w in
-          Fmt.pr "%a@." Race.pp_drf_report r;
-          Option.iter
-            (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
-            r.Race.engine_stats;
-          if r.Race.drf then 0 else 2)
+        | Ok w -> emit (Race.drf ~engine ?jobs w))
     else
     let entries = default_entries entries in
     match parse_client file with
@@ -714,17 +771,13 @@ let drf_cmd =
                    rc.Cas_diag.Capture.rc_steps));
             rc.Cas_diag.Capture.rc_report
         in
-        Fmt.pr "%a@." Race.pp_drf_report r;
-        Option.iter
-          (fun st -> Fmt.pr "engine: %a@." Cas_mc.Stats.pp st)
-          r.Race.engine_stats;
-        if r.Race.drf then 0 else 2)
+        emit r)
   in
   Cmd.v
     (Cmd.info "drf" ~doc:"exhaustive data-race detection (Fig. 9)")
     Term.(
       const run $ file_arg $ entries_arg $ with_lock_arg $ engine_arg
-      $ jobs_arg $ witness_out_arg $ paranoid_arg)
+      $ jobs_arg $ drf_json_arg $ witness_out_arg $ paranoid_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check / sim / tso                                                    *)
@@ -800,6 +853,7 @@ let tso_run_machine ~clients ~entries ~engine ~jobs : int =
 let tso_cmd =
   let run file entries engine jobs witness paranoid =
     Fpmode.set_paranoid paranoid;
+    let jobs = validate_jobs jobs in
     if is_image file then
       match Cas_link.Image.load ~file with
       | Error e ->
@@ -1067,7 +1121,8 @@ let replay_cmd =
 
 let fuzz_cmd =
   let run seed count size budget lang json out_dir shrink_budget
-      paranoid_every inject =
+      paranoid_every inject engine_par =
+    let engine_par = validate_jobs engine_par in
     match Cas_fuzz.Gen.lang_of_string lang with
     | Error e ->
       Fmt.epr "error: %s@." e;
@@ -1079,7 +1134,7 @@ let fuzz_cmd =
       in
       let rep =
         Cas_fuzz.Driver.run ~size ~budget ~shrink_budget ~paranoid_every
-          ~inject ?out_dir ~progress ~seed ~count lang
+          ~inject ?engine_par ?out_dir ~progress ~seed ~count lang
       in
       Fmt.pr "%a@." Cas_fuzz.Driver.pp_report rep;
       List.iter
@@ -1161,6 +1216,17 @@ let fuzz_cmd =
             "run the paranoid fingerprint spot-check on every Nth program \
              (0 disables)")
   in
+  let engine_par_arg =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "engine-par" ] ~docv:"N"
+          ~doc:
+            "add a fourth oracle lane: re-run every program under \
+             $(b,dpor-par) on $(i,N) domains and require the same verdict \
+             and the same world count as sequential dpor (the visited \
+             world set is steal-invariant)")
+  in
   let inject_arg =
     Arg.(
       value & flag
@@ -1181,7 +1247,7 @@ let fuzz_cmd =
     Term.(
       const run $ fseed_arg $ count_arg $ size_arg $ budget_arg $ lang_arg
       $ json_arg $ out_dir_arg $ shrink_budget_arg $ paranoid_every_arg
-      $ inject_arg)
+      $ inject_arg $ engine_par_arg)
 
 let explain_cmd =
   let run file =

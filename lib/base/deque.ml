@@ -1,0 +1,121 @@
+(** Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; memory ordering
+    after Lê et al., PPoPP'13), the substrate of the model checker's
+    work-stealing frontier ([Cas_mc.Frontier]).
+
+    One domain — the *owner* — pushes and pops at the bottom (LIFO, so
+    its own exploration stays depth-first and cache-warm); any other
+    domain may [steal] from the top (FIFO, so thieves take the *oldest*
+    task — in the DPOR frontier that is the branch closest to the root,
+    i.e. the largest stealable subtree).
+
+    Correctness hinges on two orderings, both sequentially consistent
+    here because every shared location is an [Atomic]:
+
+    - [pop] publishes the decremented [bottom] *before* reading [top]
+      (the owner claims the slot before checking for thieves);
+    - [steal] reads [top] *before* [bottom] (a thief that observes a
+      fresh [top] must also observe any older [bottom] decrement, so it
+      cannot claim a slot the owner already took).
+
+    The last-element race is arbitrated by a CAS on [top]; [top] is
+    monotonically increasing, so the CAS is ABA-free. Slots are
+    per-index [Atomic]s, so a thief racing a wrap-around overwrite reads
+    a well-defined value — and its CAS then fails, discarding it. The
+    buffer grows by doubling; thieves still holding the old buffer read
+    slots whose values were copied, and the CAS on [top] arbitrates as
+    before.
+
+    Verified in [test/test_base.ml] against a locked-deque oracle, both
+    sequentially (qcheck op sequences) and under multi-domain
+    hammering (no task lost, none duplicated). *)
+
+type 'a t = {
+  top : int Atomic.t;  (** next index to steal; only ever incremented *)
+  bottom : int Atomic.t;  (** next index to push; owner-written *)
+  buf : 'a option Atomic.t array Atomic.t;  (** circular, power-of-2 *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 2 capacity in
+  (* round up to a power of two so [land] masks the index *)
+  let cap =
+    let c = ref 2 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let slot buf i = buf.(i land (Array.length buf - 1))
+
+(* Owner-only: double the buffer, copying the live range [t, b). Thieves
+   concurrently reading the old buffer see the same values (the copy
+   does not clear them); uniqueness is arbitrated by the CAS on [top]. *)
+let grow d t b old =
+  let fresh = Array.init (2 * Array.length old) (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set (slot fresh i) (Atomic.get (slot old i))
+  done;
+  Atomic.set d.buf fresh;
+  fresh
+
+(** Owner: push [v] at the bottom. *)
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf = if b - t >= Array.length buf then grow d t b buf else buf in
+  Atomic.set (slot buf b) (Some v);
+  Atomic.set d.bottom (b + 1)
+
+(** Owner: pop the most recently pushed element, if any. *)
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: canonicalize so [bottom = top] *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get d.buf in
+    if b > t then begin
+      (* more than one element: thieves cannot reach index [b] *)
+      let v = Atomic.get (slot buf b) in
+      Atomic.set (slot buf b) None;
+      v
+    end
+    else begin
+      (* last element: race thieves for it via [top] *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        let v = Atomic.get (slot buf b) in
+        Atomic.set (slot buf b) None;
+        v
+      end
+      else None
+    end
+  end
+
+(** Thief: steal the *oldest* element, if any. Returns [None] both when
+    the deque looks empty and when the CAS race is lost — callers
+    retry or move to the next victim either way. *)
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = Atomic.get (slot buf t) in
+    if Atomic.compare_and_set d.top t (t + 1) then v else None
+  end
+
+(** Approximate size (exact when quiescent). *)
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)

@@ -5,7 +5,10 @@
 
     - engine oracle: [Race.drf] under [--engine naive] vs [dpor] must
       agree on the DRF verdict, and DPOR must visit no more worlds than
-      the naive search (that is the whole point of the reduction);
+      the naive search (that is the whole point of the reduction); with
+      [engine_par = Some jobs] a fourth lane runs [dpor-par] on [jobs]
+      domains and must reproduce dpor's verdict *and* world count
+      exactly (the visited-world set is steal-invariant);
     - compiler oracle (Clight campaigns, DRF programs only — racy
       source voids the compiler's guarantee, exactly as in the paper):
       the bounded trace sets of the source Clight world and the compiled
@@ -57,6 +60,7 @@ type report = {
   r_budget : int;
   r_lang : Gen.lang;
   r_inject : bool;
+  r_engine_par : int option;  (** dpor-par lane domain count, if enabled *)
   r_agree : int;
   r_verdict_div : int;
   r_world_div : int;
@@ -123,7 +127,7 @@ let mods_with_lock ~with_lock m =
 
 (** The engine + fingerprint oracles on one loaded source world.
     Returns the agreed report, or a divergence outcome. *)
-let engine_oracle ~budget ~paranoid (g : Gen.t) w0 :
+let engine_oracle ~budget ~paranoid ~engine_par (g : Gen.t) w0 :
     (Cas_conc.Race.drf_report, outcome) result =
   let naive =
     Cas_conc.Race.drf ~max_worlds:budget ~engine:Cas_mc.Engine.Naive w0
@@ -187,7 +191,49 @@ let engine_oracle ~budget ~paranoid (g : Gen.t) w0 :
         o_drf = None;
         o_witness = None;
       }
-  else if paranoid then begin
+  else
+    let par_div =
+      match engine_par with
+      | None -> None
+      | Some jobs ->
+        let par =
+          Cas_conc.Race.drf ~max_worlds:budget
+            ~engine:Cas_mc.Engine.Dpor_par ~jobs w0
+        in
+        if par.Cas_conc.Race.drf <> dpor.Cas_conc.Race.drf then
+          Some
+            {
+              o_bucket = Verdict_div;
+              o_detail =
+                Fmt.str "dpor-par(%d) disagreement: dpor says %s, par says %s"
+                  jobs
+                  (if dpor.Cas_conc.Race.drf then "DRF" else "racy")
+                  (if par.Cas_conc.Race.drf then "DRF" else "racy");
+              o_drf = None;
+              o_witness = None;
+            }
+        else if
+          par.Cas_conc.Race.stats.Cas_conc.Explore.visited
+          <> dpor.Cas_conc.Race.stats.Cas_conc.Explore.visited
+        then
+          Some
+            {
+              o_bucket = World_div;
+              o_detail =
+                Fmt.str
+                  "dpor-par(%d) visited %d worlds, dpor %d (steal-variant \
+                   world set)"
+                  jobs par.Cas_conc.Race.stats.Cas_conc.Explore.visited
+                  dpor.Cas_conc.Race.stats.Cas_conc.Explore.visited;
+              o_drf = None;
+              o_witness = None;
+            }
+        else None
+    in
+    match par_div with
+    | Some o -> Error o
+    | None ->
+  if paranoid then begin
     (* fingerprint spot-check: rerun the naive search under paranoid
        fingerprints; verdict, world count, and the collision audit must
        all come back clean *)
@@ -313,7 +359,7 @@ let compiler_oracle ~budget ~(g : Gen.t) ~src_w0 ~tgt_w0 : outcome =
 (* One program end to end                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_one ~budget ~paranoid ~inject (g : Gen.t) : outcome =
+let run_one ~budget ~paranoid ~inject ~engine_par (g : Gen.t) : outcome =
   match g.Gen.g_lang with
   | Gen.Cimp -> (
     match
@@ -332,7 +378,7 @@ let run_one ~budget ~paranoid ~inject (g : Gen.t) : outcome =
       | Error e ->
         { o_bucket = Crash; o_detail = e; o_drf = None; o_witness = None }
       | Ok w0 -> (
-        match engine_oracle ~budget ~paranoid g w0 with
+        match engine_oracle ~budget ~paranoid ~engine_par g w0 with
         | Error o -> o
         | Ok rep ->
           ok_outcome ~drf:rep.Cas_conc.Race.drf
@@ -355,7 +401,7 @@ let run_one ~budget ~paranoid ~inject (g : Gen.t) : outcome =
       | Error e ->
         { o_bucket = Crash; o_detail = e; o_drf = None; o_witness = None }
       | Ok src_w0 -> (
-        match engine_oracle ~budget ~paranoid g src_w0 with
+        match engine_oracle ~budget ~paranoid ~engine_par g src_w0 with
         | Error o -> o
         | Ok rep ->
           if not rep.Cas_conc.Race.drf then
@@ -417,7 +463,7 @@ let shrink_and_backtranslate ~shrink_budget ~out_dir ~index
 type progress = index:int -> bucket -> unit
 
 let run ?(size = 8) ?(budget = 20_000) ?(shrink_budget = 2_000)
-    ?(paranoid_every = 50) ?(inject = false) ?out_dir
+    ?(paranoid_every = 50) ?(inject = false) ?engine_par ?out_dir
     ?(progress : progress option) ~seed ~count (lang : Gen.lang) : report =
   (match out_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
@@ -436,7 +482,7 @@ let run ?(size = 8) ?(budget = 20_000) ?(shrink_budget = 2_000)
     let g = Gen.program ~lang prng ~size in
     let paranoid = paranoid_every > 0 && index mod paranoid_every = 0 in
     let o =
-      try run_one ~budget ~paranoid ~inject g with
+      try run_one ~budget ~paranoid ~inject ~engine_par g with
       | exn ->
         {
           o_bucket = Crash;
@@ -493,6 +539,7 @@ let run ?(size = 8) ?(budget = 20_000) ?(shrink_budget = 2_000)
     r_budget = budget;
     r_lang = lang;
     r_inject = inject;
+    r_engine_par = engine_par;
     r_agree = !agree;
     r_verdict_div = !verdict_div;
     r_world_div = !world_div;
@@ -516,6 +563,8 @@ let report_to_json (r : report) : Json.t =
       ("budget", Json.Int r.r_budget);
       ("lang", Json.Str (Gen.lang_to_string r.r_lang));
       ("inject", Json.Bool r.r_inject);
+      ( "engine_par",
+        match r.r_engine_par with Some j -> Json.Int j | None -> Json.Null );
       ( "buckets",
         Json.Obj
           [
@@ -561,13 +610,16 @@ let report_to_json (r : report) : Json.t =
 
 let pp_report ppf (r : report) =
   Fmt.pf ppf
-    "@[<v>fuzz campaign: seed %d, %d %s programs, budget %d%s@,\
+    "@[<v>fuzz campaign: seed %d, %d %s programs, budget %d%s%s@,\
      agree %d (drf %d, racy %d)@,\
      verdict-divergence %d, world-count-divergence %d, crash %d, timeout %d@]"
     r.r_seed r.r_count
     (Gen.lang_to_string r.r_lang)
     r.r_budget
     (if r.r_inject then " [inject]" else "")
+    (match r.r_engine_par with
+    | Some j -> Fmt.str " [dpor-par %d]" j
+    | None -> "")
     r.r_agree r.r_drf r.r_racy r.r_verdict_div r.r_world_div r.r_crash
     r.r_timeout
 

@@ -1,25 +1,53 @@
-(** Dynamic partial-order reduction (Flanagan–Godefroid style) with
-    persistent/backtrack sets and sleep sets, using footprint disjointness
-    as the independence oracle.
+(** Dynamic partial-order reduction: *source-DPOR with wakeup
+    sequences* (after Abdulla–Aronis–Jonsson–Sagonas, POPL'14), using
+    footprint disjointness as the independence oracle, scheduled over
+    the work-stealing frontier ([Frontier.run_stealing]).
 
-    The engine explores a depth-first tree of schedules. At each world it
-    initially schedules a *single* thread; whenever a later transition is
-    found to depend on an earlier one (their footprints conflict, or both
-    are observable — [Mcsys.dependent]), the thread is added to the
-    *backtrack set* of the world the earlier transition was taken from,
-    forcing the conflicting order to be explored too. *Sleep sets* carry
-    already-explored threads forward so that commuting reorderings of the
-    same Mazurkiewicz trace are pruned.
+    The engine explores a tree of schedules. Each tree node is a
+    {!frame}: a world plus the schedule that reached it. At a fresh
+    frame a *single* thread is scheduled; additional branches appear
+    only by *race reversal* — when a pending thread [p]'s next step is
+    found dependent with the most recent executed transition [e] of
+    another thread, the engine computes the wakeup sequence
+
+      [v = notdep(e, E) · p]
+
+    (the steps executed after [e] that do not happen-after [e],
+    followed by [p]'s step — i.e. "the same execution with the race
+    reversed") and inserts [v] at the frame [e] was taken from, unless
+    some *weak initial* of [v] is already a branch or a sleeping thread
+    there — the source-set condition, which is exactly what makes the
+    insertion redundant. An inserted branch carries [v] as its *guide*:
+    descent replays the guide's threads first, so the branch is steered
+    straight to the reversed race instead of wandering into schedules a
+    sleep set would later block. Sleep sets still carry explored
+    siblings forward ([survives_sleep]), but because insertion is
+    source-set-filtered, branches are (on the corpus, gated in
+    bench-regress) never spawned into a sleep-set wall: the
+    [sleep_prunings] counter — pure waste in the old persistent-set
+    engine — is the optimality meter and should read 0.
+
+    Parallelism: every inserted branch is a task for the work-stealing
+    frontier. A task descends depth-first on its own domain and pushes
+    the branches it creates onto its own deque; dry domains steal
+    oldest-first (nearest the root — the largest subtrees). Frames are
+    shared across domains and protected by a per-frame mutex; the
+    visited-world *set* is interleaving-independent (sleep sets prune
+    only redundant transitions, never states — Godefroid — and branch
+    insertion is determined by the tree, not the schedule), which the
+    determinism tests and CI assert. Per-domain counters are folded at
+    join; verdict and witness selection stay deterministic via the
+    min-[witness_key] reduction in [Cas_conc.Race].
 
     Soundness precondition (see DESIGN.md "Exploration engines"): the
-    reduction preserves the set of event traces, abort reachability, and
-    race-predictor verdicts when the conflict structure is DRF-style
-    acyclic up to the bound — conflicting accesses are either ordered by
-    the program or explicitly explored in both orders here. State-space
-    *cycles* (spin loops) are cut when a world repeats on the current
-    schedule path, exactly as the naive trace enumerator does, so all
-    verdicts are sound-up-to-bound; the differential tests in
-    [test/test_mc.ml] check engine agreement on the corpus. *)
+    reduction preserves the set of event traces, abort reachability,
+    and race-predictor verdicts. State-space *cycles* (spin loops) are
+    cut when a world repeats on the current schedule path, exactly as
+    the naive trace enumerator does, and every cut re-enables the
+    still-pending threads at the most recent frame that could have
+    scheduled them ([rescue]) so executions stay maximal; all verdicts
+    are sound-up-to-bound, and the differential tests in
+    [test/test_mc.ml] plus the fuzz oracle check engine agreement. *)
 
 open Cas_base
 module ISet = Set.Make (Int)
@@ -78,13 +106,13 @@ let dep_group (g : 'w group) (t : 'w Mcsys.trans) =
 (* Transition-group memo                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Sleep-set DPOR revisits a state along many schedule prefixes (the
-    tree is sized by paths, not states), and every visit re-runs
-    [Mcsys.trans] — the semantics — to rebuild the same groups. Groups
-    are immutable once built (frames are separate records), so they are
-    shared across revisits, keyed by the state fingerprint the visitor
-    computed anyway. Sharded like [Store]; bounded by the world
-    capacity — past it revisits fall back to stepping. *)
+(** DPOR revisits a state along many schedule prefixes (the tree is
+    sized by paths, not states), and every visit re-runs [Mcsys.trans]
+    — the semantics — to rebuild the same groups. Groups are immutable
+    once built (frames are separate records), so they are shared across
+    revisits, keyed by the state fingerprint the visitor computed
+    anyway. Sharded like [Store]; bounded by the world capacity — past
+    it revisits fall back to stepping. *)
 module Gcache = struct
   let shards = 64
 
@@ -141,16 +169,68 @@ let survives_sleep (s : slept) (t : 'w Mcsys.trans) =
   && not (s.s_obs && Mcsys.is_obs t)
 
 (* ------------------------------------------------------------------ *)
-(* DFS frames                                                          *)
+(* Wakeup sequences                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** One world on the current schedule path. [f_backtrack] is mutable: it
-    grows while descendants discover dependences (the "dynamic" of DPOR). *)
-type frame = {
+(** One step of a wakeup sequence: the thread-granular dependence
+    summary of an executed transition (or of a pending group's next
+    step, for the final element). *)
+type vstep = { v_tid : int; v_fp : Footprint.t; v_obs : bool }
+
+let vstep_of_trans (t : 'w Mcsys.trans) =
+  { v_tid = t.Mcsys.tid; v_fp = t.Mcsys.fp; v_obs = Mcsys.is_obs t }
+
+let vstep_of_group (g : 'w group) =
+  { v_tid = g.g_tid; v_fp = g.g_fp; v_obs = g.g_obs }
+
+let vdep a b =
+  a.v_tid = b.v_tid
+  || Footprint.conflict a.v_fp b.v_fp
+  || (a.v_obs && b.v_obs)
+
+(* ------------------------------------------------------------------ *)
+(* Frames: shared exploration-tree nodes                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A branch already spawned at a frame: its first thread (the source
+    set grows one thread per insertion) and the sleep summary younger
+    siblings inherit. *)
+type child = { c_tid : int; c_slept : slept }
+
+(** One node of the exploration tree. Immutable but for [f_children],
+    which grows under [f_lock] while descendants — possibly running on
+    other domains — discover races that insert wakeup sequences here. *)
+type 'w frame = {
+  f_fp : string;
+  f_groups : 'w group list;
   f_enabled : ISet.t;
-  mutable f_backtrack : ISet.t;
-  mutable f_done : ISet.t;
+  f_path : ('w frame * 'w Mcsys.trans) list;
+      (** schedule to here, newest first: each element pairs an executed
+          transition with the frame it was taken {e from} (pre(S, i)) *)
+  f_events : Event.t list;  (** reversed event trace to here *)
+  f_on_path : SSet.t;  (** fingerprints on the path, including this *)
+  f_depth : int;
+  f_sleep : slept list;  (** sleep set this frame was entered with *)
+  f_lock : Mutex.t;
+  mutable f_children : child list;  (** newest first; under [f_lock] *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-worker counters, folded into [Stats] at join: stealing domains
+    must not fight over counter cachelines on the hot path. Only the
+    path budget needs cross-domain visibility, so it alone is flushed
+    to a shared atomic, in batches. *)
+type wstats = {
+  mutable w_trans : int;
+  mutable w_pend : int;  (** paths counted but not yet flushed *)
+  mutable w_sleeps : int;
+  mutable w_backs : int;
+}
+
+let flush_batch = 256
 
 type 'w state = {
   sys : 'w Mcsys.t;
@@ -160,24 +240,228 @@ type 'w state = {
   recorder : Recorder.t option;
   on_world : 'w -> unit;
   emit : Trace.t -> unit;
-  paths : int Atomic.t;
-  transitions : int Atomic.t;
-  sleeps : int Atomic.t;
-  backs : int Atomic.t;
+  paths : int Atomic.t;  (** flushed path count (budget arbiter) *)
   abort : bool Atomic.t;
   incomplete : bool Atomic.t;
+  wstats : wstats array;  (** indexed by [Frontier.id] *)
 }
 
-(** Explore from world [w]. [path] is the current schedule, newest first:
-    each element pairs an executed transition with the frame of the world
-    it was taken *from* (DPOR's pre(S, i)). [events] is the reversed
-    event trace so far; [sleep] the inherited sleep set. [via] is the
+let wstats_of rs wc = rs.wstats.(Frontier.id wc)
+
+let bump_path rs (ws : wstats) =
+  ws.w_pend <- ws.w_pend + 1;
+  if ws.w_pend >= flush_batch then begin
+    ignore (Atomic.fetch_and_add rs.paths ws.w_pend : int);
+    ws.w_pend <- 0
+  end
+
+let over_budget rs (ws : wstats) =
+  if Atomic.get rs.paths + ws.w_pend > rs.cfg.max_paths then begin
+    Atomic.set rs.incomplete true;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Source-set coverage                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Is [q] a weak initial of wakeup sequence [v] at frame [fk]?
+    [q ∈ WI(v)] iff [v]'s first step of thread [q] is not preceded in
+    [v] by a dependent step (so [v ≃ q·v']), or [q] does not occur in
+    [v] at all and its next step at [fk] is independent with every step
+    of [v] (so [q] commutes past all of [v]). *)
+let weak_initial fk (v : vstep list) q =
+  let rec first_of earlier = function
+    | [] -> None
+    | s :: rest ->
+      if s.v_tid = q then Some (s, earlier) else first_of (s :: earlier) rest
+  in
+  match first_of [] v with
+  | Some (s, earlier) -> not (List.exists (fun e -> vdep e s) earlier)
+  | None -> (
+    match List.find_opt (fun g -> g.g_tid = q) fk.f_groups with
+    | None -> false
+    | Some gq ->
+      let sq = vstep_of_group gq in
+      not (List.exists (fun s -> vdep sq s) v))
+
+(* ------------------------------------------------------------------ *)
+(* The exploration core                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Spawn a branch at [fk] starting with thread [tid] and guide
+    [guide]. Caller holds [fk.f_lock]. The branch's sleep set is the
+    frame's inherited sleep plus every older sibling's summary —
+    snapshotted now, so later insertions cannot retroactively put this
+    branch to sleep. *)
+let rec spawn_locked rs fk tid guide wc =
+  let ws = wstats_of rs wc in
+  ws.w_backs <- ws.w_backs + 1;
+  let slept =
+    match List.find_opt (fun g -> g.g_tid = tid) fk.f_groups with
+    | Some g -> slept_of_group g
+    | None -> { s_tid = tid; s_fp = Footprint.empty; s_obs = false }
+  in
+  let sleep =
+    fk.f_sleep @ List.rev_map (fun c -> c.c_slept) fk.f_children
+  in
+  fk.f_children <- { c_tid = tid; c_slept = slept } :: fk.f_children;
+  Frontier.push wc (fun wc' -> branch rs fk tid guide sleep wc')
+
+(** Insert wakeup sequence [v] at frame [fk] unless covered: some weak
+    initial of [v] is already a spawned branch or a sleeping thread
+    there (the source-set condition — either way the reversal's
+    equivalence class is reached through that thread). The conservative
+    fallback mirrors the classic algorithm: if [v]'s head is not
+    enabled at [fk] (its enabling was itself a consequence of the
+    race), schedule every enabled thread not already covered. *)
+and insert_wakeup rs fk (v : vstep list) wc =
+  match v with
+  | [] -> ()
+  | hd :: _ ->
+    Mutex.lock fk.f_lock;
+    let covered q = weak_initial fk v q in
+    let blocked =
+      List.exists (fun (c : child) -> covered c.c_tid) fk.f_children
+      || List.exists (fun (s : slept) -> covered s.s_tid) fk.f_sleep
+    in
+    if not blocked then begin
+      if ISet.mem hd.v_tid fk.f_enabled then
+        spawn_locked rs fk hd.v_tid
+          (List.map (fun s -> s.v_tid) (List.tl v))
+          wc
+      else
+        ISet.iter
+          (fun q ->
+            if
+              (not
+                 (List.exists (fun (c : child) -> c.c_tid = q) fk.f_children))
+              && not (List.exists (fun (s : slept) -> s.s_tid = q) fk.f_sleep)
+            then spawn_locked rs fk q [] wc)
+          fk.f_enabled
+    end;
+    Mutex.unlock fk.f_lock
+
+(** Race reversal for pending group [g] at [frame]: find the most
+    recent executed transition [e] of another thread that [g]'s next
+    step depends on, build the wakeup sequence [notdep(e, E)·g], and
+    insert it at [e]'s frame. Skipped when [g] happens-after [e]
+    through its own earlier steps (program order makes the pair
+    race-adjacent only if no such chain exists — reversing a
+    happens-before edge is not a race, and inserting it is exactly the
+    redundant work the old engine's sleep sets then blocked). *)
+and race_reversal rs frame (g : 'w group) wc =
+  match
+    List.find_opt
+      (fun ((_, tk) : 'w frame * 'w Mcsys.trans) ->
+        tk.Mcsys.tid <> g.g_tid && dep_group g tk)
+      frame.f_path
+  with
+  | None -> ()
+  | Some (fk, tk) ->
+    (* transitions executed after [tk], oldest first *)
+    let suffix =
+      let rec go acc = function
+        | ((f', _) as entry) :: rest ->
+          if f' == fk then acc else go (entry :: acc) rest
+        | [] -> acc
+      in
+      go [] frame.f_path
+    in
+    let e = vstep_of_trans tk in
+    let after = ref [ e ] in
+    let race = ref true in
+    let notdep =
+      List.filter_map
+        (fun ((_, t') : 'w frame * 'w Mcsys.trans) ->
+          let s = vstep_of_trans t' in
+          if List.exists (fun a -> vdep a s) !after then begin
+            after := s :: !after;
+            if s.v_tid = g.g_tid then race := false;
+            None
+          end
+          else Some s)
+        suffix
+    in
+    if !race then insert_wakeup rs fk (notdep @ [ vstep_of_group g ]) wc
+
+(** Cut rescue. The soundness argument needs *maximal* executions: a
+    thread whose pending transitions never conflict with anything
+    executed would otherwise never be scheduled, and cutting a branch
+    at a cycle (one thread spinning) or at the depth bound ends it
+    while other threads are still enabled — their subtrees would be
+    lost, not reduced. So at every cut, each still-pending thread is
+    re-enabled at the most recent frame that could have scheduled it
+    (unless already a branch or asleep there — asleep means an older
+    sibling explored it, and maximality flows through that subtree). *)
+and rescue rs path w wc =
+  List.iter
+    (fun g ->
+      match
+        List.find_opt
+          (fun ((f, _) : 'w frame * 'w Mcsys.trans) ->
+            ISet.mem g.g_tid f.f_enabled)
+          path
+      with
+      | None -> ()
+      | Some (f, _) ->
+        (* a rescue is a wakeup insertion of the singleton ⟨g⟩: it gets
+           the same source-set coverage filter — some weak initial of
+           ⟨g⟩ already a branch or asleep here means the commuting
+           class is reached through that thread (being one is how the
+           rescued branch would otherwise end sleep-set-blocked) *)
+        let v = [ vstep_of_group g ] in
+        Mutex.lock f.f_lock;
+        let covered q = weak_initial f v q in
+        if
+          (not (List.exists (fun (c : child) -> covered c.c_tid) f.f_children))
+          && not (List.exists (fun (s : slept) -> covered s.s_tid) f.f_sleep)
+        then spawn_locked rs f g.g_tid [] wc;
+        Mutex.unlock f.f_lock)
+    (group_by_tid (rs.sys.Mcsys.trans w))
+
+(** Run one branch: thread [tid]'s transitions out of [frame], guided
+    by the rest of the wakeup sequence, sleeping [sleep]. *)
+and branch rs frame tid guide sleep wc =
+  let ws = wstats_of rs wc in
+  if not (over_budget rs ws) then
+    match List.find_opt (fun g -> g.g_tid = tid) frame.f_groups with
+    | None -> () (* a rescued thread with no pending transition *)
+    | Some g ->
+      List.iter
+        (fun (t : 'w Mcsys.trans) ->
+          ws.w_trans <- ws.w_trans + 1;
+          bump_path rs ws;
+          match t.Mcsys.target with
+          | Mcsys.Abort ->
+            Atomic.set rs.abort true;
+            rs.emit (List.rev frame.f_events, Trace.SAbort)
+          | Mcsys.Next w' ->
+            let sleep' = List.filter (fun s -> survives_sleep s t) sleep in
+            let events' =
+              match t.Mcsys.label with
+              | Mcsys.Levt e -> e :: frame.f_events
+              | Mcsys.Ltau | Mcsys.Lsw -> frame.f_events
+            in
+            visit rs
+              ~via:(frame.f_fp, t)
+              ((frame, t) :: frame.f_path)
+              frame.f_on_path w' events' sleep'
+              (frame.f_depth + 1)
+              guide wc)
+        g.g_trans
+
+(** Visit world [w] reached over [path] (newest first). [via] is the
     edge that led here (parent fingerprint and executed transition),
     recorded against this world's fingerprint — which is computed here
-    anyway for the store, so recording costs no extra fingerprints. *)
-let rec explore (rs : 'w state) ?via path on_path w events sleep depth =
-  if Atomic.get rs.paths > rs.cfg.max_paths then
-    Atomic.set rs.incomplete true
+    anyway for the store, so recording costs no extra fingerprints.
+    [guide] is the rest of the wakeup sequence being replayed; an empty
+    (or diverged) guide means free exploration: schedule the first
+    non-sleeping thread, and let race reversals spawn the rest. *)
+and visit rs ?via path on_path w events sleep depth guide wc =
+  let ws = wstats_of rs wc in
+  if over_budget rs ws then ()
   else begin
     let wfp = rs.sys.Mcsys.fingerprint w in
     (match Store.add rs.store wfp with
@@ -201,12 +485,12 @@ let rec explore (rs : 'w state) ?via path on_path w events sleep depth =
     if rs.sys.Mcsys.all_done w then rs.emit (List.rev events, Trace.SDone)
     else if depth >= rs.cfg.max_depth then begin
       Atomic.set rs.incomplete true;
-      rescue rs path w;
+      rescue rs path w wc;
       rs.emit (List.rev events, Trace.SCut)
     end
     else if SSet.mem wfp on_path then begin
       (* a cycle on the current schedule: the continuation diverges *)
-      rescue rs path w;
+      rescue rs path w wc;
       rs.emit (List.rev events, Trace.SCut)
     end
     else begin
@@ -216,153 +500,101 @@ let rec explore (rs : 'w state) ?via path on_path w events sleep depth =
       in
       if groups = [] then rs.emit (List.rev events, Trace.SCut)
       else begin
-        (* Backtrack-point computation: for each thread pending here, find
-           the most recent executed transition of another thread it
-           depends on, and request this thread (or, if it was not enabled
-           there, every enabled thread — the conservative fallback) at
-           the frame that transition was taken from. *)
-        List.iter
-          (fun g ->
-            match
-              List.find_opt
-                (fun (_, tk) -> tk.Mcsys.tid <> g.g_tid && dep_group g tk)
-                path
-            with
-            | None -> ()
-            | Some (f, _) ->
-              if
-                not
-                  (ISet.mem g.g_tid f.f_done || ISet.mem g.g_tid f.f_backtrack)
-              then begin
-                Atomic.incr rs.backs;
-                f.f_backtrack <-
-                  (if ISet.mem g.g_tid f.f_enabled then
-                     ISet.add g.g_tid f.f_backtrack
-                   else ISet.union f.f_backtrack f.f_enabled)
-              end)
-          groups;
+        let enabled =
+          List.fold_left (fun s g -> ISet.add g.g_tid s) ISet.empty groups
+        in
+        let frame =
+          {
+            f_fp = wfp;
+            f_groups = groups;
+            f_enabled = enabled;
+            f_path = path;
+            f_events = events;
+            f_on_path = SSet.add wfp on_path;
+            f_depth = depth;
+            f_sleep = sleep;
+            f_lock = Mutex.create ();
+            f_children = [];
+          }
+        in
+        (* every pending thread may reverse a race with the history *)
+        List.iter (fun g -> race_reversal rs frame g wc) groups;
         let sleep_tids =
           List.fold_left (fun s q -> ISet.add q.s_tid s) ISet.empty sleep
         in
-        match
-          List.filter (fun g -> not (ISet.mem g.g_tid sleep_tids)) groups
-        with
-        | [] ->
-          (* every pending thread is asleep: this schedule is a commuting
-             reordering of one already explored — prune the subtree *)
-          Atomic.incr rs.sleeps
-        | g0 :: _ ->
-          let enabled =
-            List.fold_left (fun s g -> ISet.add g.g_tid s) ISet.empty groups
+        let first =
+          match guide with
+          | gt :: grest
+            when List.exists (fun g -> g.g_tid = gt) groups
+                 && not (ISet.mem gt sleep_tids) ->
+            Some (gt, grest)
+          | _ -> (
+            (* guide done, diverged, or put to sleep by a sibling that
+               beat it here: free exploration (guides only steer) *)
+            match
+              List.find_opt
+                (fun g -> not (ISet.mem g.g_tid sleep_tids))
+                groups
+            with
+            | Some g0 -> Some (g0.g_tid, [])
+            | None -> None)
+        in
+        match first with
+        | None ->
+          (* every pending thread is asleep: this schedule is a
+             commuting reordering of one already explored. Source-set
+             filtered insertion should never steer exploration here —
+             this counter staying 0 is the optimality gate. *)
+          ws.w_sleeps <- ws.w_sleeps + 1
+        | Some (tid, grest) ->
+          (* the first branch needs no lock: the frame becomes visible
+             to other tasks only once we descend through it *)
+          let slept =
+            match List.find_opt (fun g -> g.g_tid = tid) frame.f_groups with
+            | Some g -> slept_of_group g
+            | None -> assert false
           in
-          let frame =
-            {
-              f_enabled = enabled;
-              f_backtrack = ISet.singleton g0.g_tid;
-              f_done = ISet.empty;
-            }
-          in
-          run_frame rs path on_path wfp events sleep depth frame groups
-            sleep_tids
+          frame.f_children <- [ { c_tid = tid; c_slept = slept } ];
+          branch rs frame tid grest sleep wc
       end
     end
   end
-
-(** Cut rescue. DPOR's soundness argument needs *maximal* executions:
-    a thread whose pending transitions never conflict with anything
-    executed would otherwise never be scheduled, and cutting a branch at
-    a cycle (one thread spinning) or at the depth bound ends it while
-    other threads are still enabled — their subtrees would be lost, not
-    reduced. So at every cut, each thread still pending is re-enabled at
-    the most recent frame where the scheduler could have picked it. *)
-and rescue rs path w =
-  List.iter
-    (fun g ->
-      match
-        List.find_opt (fun (f, _) -> ISet.mem g.g_tid f.f_enabled) path
-      with
-      | Some (f, _)
-        when not (ISet.mem g.g_tid f.f_done || ISet.mem g.g_tid f.f_backtrack)
-        ->
-        Atomic.incr rs.backs;
-        f.f_backtrack <- ISet.add g.g_tid f.f_backtrack
-      | _ -> ())
-    (group_by_tid (rs.sys.Mcsys.trans w))
-
-(** The exploration loop at one world: drain the (growing) backtrack set,
-    exploring each scheduled thread's transitions and putting explored
-    threads to sleep for their younger siblings. *)
-and run_frame rs path on_path wfp events sleep depth frame groups sleep_tids =
-  let on_path' = SSet.add wfp on_path in
-  let explored = ref [] in
-  let rec loop () =
-    match ISet.min_elt_opt (ISet.diff frame.f_backtrack frame.f_done) with
-    | None -> ()
-    | Some p ->
-      frame.f_done <- ISet.add p frame.f_done;
-      if ISet.mem p sleep_tids then begin
-        (* requested by a backtrack point but asleep: its subtree here is
-           covered by the sibling branch that put it to sleep *)
-        Atomic.incr rs.sleeps;
-        loop ()
-      end
-      else begin
-        (match List.find_opt (fun g -> g.g_tid = p) groups with
-        | None -> () (* a backtracked thread with no pending transition *)
-        | Some g ->
-          List.iter
-            (fun (t : 'w Mcsys.trans) ->
-              Atomic.incr rs.transitions;
-              Atomic.incr rs.paths;
-              match t.Mcsys.target with
-              | Mcsys.Abort ->
-                Atomic.set rs.abort true;
-                rs.emit (List.rev events, Trace.SAbort)
-              | Mcsys.Next w' ->
-                let sleep' =
-                  List.filter
-                    (fun s -> survives_sleep s t)
-                    (sleep @ List.rev !explored)
-                in
-                let events' =
-                  match t.Mcsys.label with
-                  | Mcsys.Levt e -> e :: events
-                  | Mcsys.Ltau | Mcsys.Lsw -> events
-                in
-                explore rs ~via:(wfp, t)
-                  ((frame, t) :: path)
-                  on_path' w' events' sleep' (depth + 1))
-            g.g_trans;
-          explored := slept_of_group g :: !explored);
-        loop ()
-      end
-  in
-  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** Distinct threads enabled at the roots: parallel exploration of a
+    ≤1-thread system has nothing to reorder, so [run] short-circuits it
+    to the sequential engine instead of spinning up a pool. *)
+let root_width (sys : 'w Mcsys.t) (initials : 'w list) =
+  List.fold_left
+    (fun s w0 ->
+      if sys.Mcsys.all_done w0 then s
+      else
+        List.fold_left
+          (fun s g -> ISet.add g.g_tid s)
+          s
+          (group_by_tid (sys.Mcsys.trans w0)))
+    ISet.empty initials
+  |> ISet.cardinal
+
 (** Run the DPOR engine. [collect] selects trace accumulation (trace
     enumeration) vs. pure reachability; [on_world] is called once per
-    distinct world (under a lock when [jobs > 1]).
-
-    With [jobs > 1], the root world's scheduling choices are expanded
-    *without* reduction (its persistent set is every enabled thread) and
-    each root branch becomes an independent task for the domain pool —
-    subtree exploration still reduces normally. This costs a little
-    pruning at the root, buys conflict-free parallelism, and keeps
-    verdicts deterministic: tasks share only the (thread-safe) canonical
-    store and the atomic accounting. *)
+    distinct world (under a lock when [jobs > 1], so race-predictor
+    reductions stay race-free; their verdict must not depend on call
+    order — [Cas_conc.Race] reduces by min [witness_key]). *)
 let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg) ?recorder
     (sys : 'w Mcsys.t) (initials : 'w list) ~(on_world : 'w -> unit) :
     Trace.result * Stats.t =
   let t0 = Unix.gettimeofday () *. 1e9 in
-  let store = Store.create ~capacity:cfg.max_worlds () in
+  let jobs = max 1 jobs in
+  let jobs = if jobs > 1 && root_width sys initials <= 1 then 1 else jobs in
+  let parallel = jobs > 1 in
+  let store = Store.create ~shards:64 ~capacity:cfg.max_worlds () in
   let traces = ref Trace.Set.empty in
   let tlock = Mutex.create () in
   let wlock = Mutex.create () in
-  let parallel = jobs > 1 in
   let emit tr =
     if collect then
       if parallel then begin
@@ -380,9 +612,6 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg) ?recorder
         (fun () -> on_world w)
     else on_world
   in
-  let root_fp fp =
-    match recorder with None -> () | Some r -> Recorder.root r fp
-  in
   let rs =
     {
       sys;
@@ -393,89 +622,32 @@ let run ?(jobs = 1) ?(collect = true) ?(cfg = default_cfg) ?recorder
       on_world;
       emit;
       paths = Atomic.make 0;
-      transitions = Atomic.make 0;
-      sleeps = Atomic.make 0;
-      backs = Atomic.make 0;
       abort = Atomic.make false;
       incomplete = Atomic.make false;
+      wstats =
+        Array.init jobs (fun _ ->
+            { w_trans = 0; w_pend = 0; w_sleeps = 0; w_backs = 0 });
     }
   in
-  if not parallel then
-    List.iter
-      (fun w0 ->
-        root_fp (sys.Mcsys.fingerprint w0);
-        explore rs [] SSet.empty w0 [] [] 0)
+  let roots =
+    List.map
+      (fun w0 wc ->
+        (match rs.recorder with
+        | Some r -> Recorder.root r (sys.Mcsys.fingerprint w0)
+        | None -> ());
+        visit rs [] SSet.empty w0 [] [] 0 [] wc)
       initials
-  else begin
-    (* Root split: one task per (initial, root transition). Each task owns
-       a private copy of the root frame with done = enabled, so dynamic
-       backtrack requests at the root are no-ops — every root branch is
-       already a task. *)
-    let tasks =
-      List.concat_map
-        (fun w0 ->
-          let wfp = sys.Mcsys.fingerprint w0 in
-          root_fp wfp;
-          (match Store.add store wfp with
-          | `New -> rs.on_world w0
-          | `Seen | `Full -> ());
-          if sys.Mcsys.all_done w0 then begin
-            emit ([], Trace.SDone);
-            []
-          end
-          else begin
-            let groups = group_by_tid (sys.Mcsys.trans w0) in
-            if groups = [] then begin
-              emit ([], Trace.SCut);
-              []
-            end
-            else begin
-              let enabled =
-                List.fold_left
-                  (fun s g -> ISet.add g.g_tid s)
-                  ISet.empty groups
-              in
-              List.concat_map
-                (fun g ->
-                  List.map
-                    (fun (t : 'w Mcsys.trans) () ->
-                      let frame =
-                        {
-                          f_enabled = enabled;
-                          f_backtrack = enabled;
-                          f_done = enabled;
-                        }
-                      in
-                      Atomic.incr rs.transitions;
-                      Atomic.incr rs.paths;
-                      match t.Mcsys.target with
-                      | Mcsys.Abort ->
-                        Atomic.set rs.abort true;
-                        emit ([], Trace.SAbort)
-                      | Mcsys.Next w' ->
-                        let events =
-                          match t.Mcsys.label with
-                          | Mcsys.Levt e -> [ e ]
-                          | Mcsys.Ltau | Mcsys.Lsw -> []
-                        in
-                        explore rs ~via:(wfp, t)
-                          [ (frame, t) ]
-                          (SSet.singleton wfp) w' events [] 1)
-                    g.g_trans)
-                groups
-            end
-          end)
-        initials
-    in
-    ignore (Frontier.run ~jobs tasks : unit list)
-  end;
+  in
+  let steals = Frontier.run_stealing ~jobs roots in
+  let fold f = Array.fold_left (fun acc ws -> acc + f ws) 0 rs.wstats in
   ( { Trace.traces = !traces; complete = not (Atomic.get rs.incomplete) },
     {
       Stats.engine = (if parallel then Fmt.str "dpor-par(%d)" jobs else "dpor");
       worlds = Store.distinct store;
-      transitions = Atomic.get rs.transitions;
-      sleep_prunings = Atomic.get rs.sleeps;
-      backtracks = Atomic.get rs.backs;
+      transitions = fold (fun ws -> ws.w_trans);
+      sleep_prunings = fold (fun ws -> ws.w_sleeps);
+      backtracks = fold (fun ws -> ws.w_backs);
+      steals;
       store_hits = Store.hits store;
       truncated = Atomic.get rs.incomplete;
       abort_reachable = Atomic.get rs.abort;

@@ -8,7 +8,8 @@ type t = {
   worlds : int;  (** distinct worlds reached (canonical-store misses) *)
   transitions : int;  (** transitions executed *)
   sleep_prunings : int;  (** scheduling choices skipped by sleep sets *)
-  backtracks : int;  (** backtrack points added by the DPOR core *)
+  backtracks : int;  (** wakeup-sequence insertions by the DPOR core *)
+  steals : int;  (** tasks taken from another domain's deque *)
   store_hits : int;  (** canonical-store hits (worlds re-encountered) *)
   truncated : bool;  (** a world/path/depth budget was exhausted *)
   abort_reachable : bool;
@@ -22,6 +23,7 @@ let zero ~engine =
     transitions = 0;
     sleep_prunings = 0;
     backtracks = 0;
+    steals = 0;
     store_hits = 0;
     truncated = false;
     abort_reachable = false;
@@ -31,7 +33,8 @@ let zero ~engine =
 let pp ppf s =
   Fmt.pf ppf "[%s] %d worlds, %d transitions" s.engine s.worlds s.transitions;
   if s.sleep_prunings > 0 then Fmt.pf ppf ", %d sleep-pruned" s.sleep_prunings;
-  if s.backtracks > 0 then Fmt.pf ppf ", %d backtrack points" s.backtracks;
+  if s.backtracks > 0 then Fmt.pf ppf ", %d wakeup insertions" s.backtracks;
+  if s.steals > 0 then Fmt.pf ppf ", %d steals" s.steals;
   if s.truncated then Fmt.pf ppf " (truncated)";
   if s.abort_reachable then Fmt.pf ppf " (abort reachable)";
   if s.wall_ns > 0. then Fmt.pf ppf " in %.2fms" (s.wall_ns /. 1e6)

@@ -2,8 +2,8 @@
     fingerprint, with hit/miss/truncation accounting.
 
     Sharding serves the parallel frontier scheduler: each shard carries
-    its own lock, so domains insert concurrently with contention only on
-    colliding shards. The global capacity is enforced with an atomic
+    its own lock — and its own hit counter, folded on read — so domains
+    insert concurrently with contention only on colliding shards. The global capacity is enforced with an atomic
     counter read under only the *shard* lock, so the cap is approximate
     under parallel insertion — but boundedly so. Precise over-admission
     bound: with [D] domains racing, at most [capacity + D - 1] keys are
@@ -22,13 +22,19 @@
     cannot lose the flag, which [test/test_mc.ml] hammers with a Pool
     of racing inserters. *)
 
-type shard = { lock : Mutex.t; tbl : (string, unit) Hashtbl.t }
+type shard = {
+  lock : Mutex.t;
+  tbl : (string, unit) Hashtbl.t;
+  mutable shits : int;
+      (** hits on this shard, bumped under [lock] — hits are the common
+          case in DPOR revisits, and a single global atomic would be the
+          one cacheline every stealing domain fights over *)
+}
 
 type t = {
   shards : shard array;
   capacity : int;
   count : int Atomic.t;  (** distinct keys inserted (misses) *)
-  hits : int Atomic.t;  (** keys re-encountered *)
   full : bool Atomic.t;  (** an insertion was refused *)
 }
 
@@ -36,10 +42,9 @@ let create ?(shards = 16) ~capacity () =
   {
     shards =
       Array.init (max 1 shards) (fun _ ->
-          { lock = Mutex.create (); tbl = Hashtbl.create 256 });
+          { lock = Mutex.create (); tbl = Hashtbl.create 256; shits = 0 });
     capacity;
     count = Atomic.make 0;
-    hits = Atomic.make 0;
     full = Atomic.make false;
   }
 
@@ -49,7 +54,10 @@ let add t key : [ `New | `Seen | `Full ] =
   let shard = t.shards.(Hashtbl.hash key mod Array.length t.shards) in
   Mutex.lock shard.lock;
   let r =
-    if Hashtbl.mem shard.tbl key then `Seen
+    if Hashtbl.mem shard.tbl key then begin
+      shard.shits <- shard.shits + 1;
+      `Seen
+    end
     else if Atomic.get t.count >= t.capacity then `Full
     else begin
       Hashtbl.add shard.tbl key ();
@@ -58,10 +66,7 @@ let add t key : [ `New | `Seen | `Full ] =
     end
   in
   Mutex.unlock shard.lock;
-  (match r with
-  | `Seen -> Atomic.incr t.hits
-  | `Full -> Atomic.set t.full true
-  | `New -> ());
+  (match r with `Full -> Atomic.set t.full true | `New | `Seen -> ());
   r
 
 let mem t key =
@@ -72,5 +77,16 @@ let mem t key =
   r
 
 let distinct t = Atomic.get t.count
-let hits t = Atomic.get t.hits
+
+(** Total hits, folded over the shards (each read under its lock, so
+    the sum is exact once the exploration has joined). *)
+let hits t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let h = s.shits in
+      Mutex.unlock s.lock;
+      acc + h)
+    0 t.shards
+
 let truncated t = Atomic.get t.full

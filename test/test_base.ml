@@ -560,6 +560,142 @@ let prop_layout_store_commutes =
         | Error _ -> false))
 
 (* ------------------------------------------------------------------ *)
+(* Deque (Chase–Lev work-stealing)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create ~capacity:4 () in
+  check tbool "empty pop" true (Deque.pop d = None);
+  check tbool "empty steal" true (Deque.steal d = None);
+  List.iter (fun i -> Deque.push d i) [ 1; 2; 3 ];
+  check tint "size" 3 (Deque.size d);
+  check tbool "owner pops newest" true (Deque.pop d = Some 3);
+  check tbool "thief steals oldest" true (Deque.steal d = Some 1);
+  check tbool "owner pops the rest" true (Deque.pop d = Some 2);
+  check tbool "drained" true (Deque.pop d = None && Deque.steal d = None)
+
+let test_deque_growth () =
+  let d = Deque.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 1 to n do
+    Deque.push d i
+  done;
+  check tint "all retained across growth" n (Deque.size d);
+  for i = n downto 1 do
+    check tbool (Fmt.str "pop %d" i) true (Deque.pop d = Some i)
+  done
+
+(* Sequential oracle: the same abstract deque as a list, newest-first.
+   Owner push/pop act on the head, thieves steal from the tail. *)
+type deque_op = Dpush | Dpop | Dsteal
+
+let gen_deque_ops =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (frequency [ (3, return Dpush); (2, return Dpop); (2, return Dsteal) ]))
+
+let arb_deque_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ""
+        (List.map
+           (function Dpush -> "u" | Dpop -> "o" | Dsteal -> "s")
+           ops))
+    gen_deque_ops
+
+let prop_deque_matches_oracle =
+  QCheck.Test.make ~name:"deque matches the list oracle sequentially"
+    ~count:1000 arb_deque_ops (fun ops ->
+      let d = Deque.create ~capacity:2 () in
+      let model = ref [] in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Dpush ->
+            incr next;
+            Deque.push d !next;
+            model := !next :: !model;
+            true
+          | Dpop -> (
+            let got = Deque.pop d in
+            match !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := rest;
+              got = Some x)
+          | Dsteal -> (
+            let got = Deque.steal d in
+            match List.rev !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := List.rev rest;
+              got = Some x))
+        ops
+      && Deque.size d = List.length !model)
+
+(* Multi-domain hammer: one owner pushes and pops while thieves steal
+   concurrently; every pushed element must be taken exactly once, and
+   stolen elements must arrive oldest-first per thief (top is
+   monotonic, so any one thief's steals are increasing). *)
+let test_deque_hammer () =
+  let thieves = 3 in
+  let n = 20_000 in
+  for _round = 1 to 3 do
+    let d = Deque.create ~capacity:8 () in
+    let taken = Array.make (n + 1) 0 in
+    let owner_done = Atomic.make false in
+    let thief () =
+      let mine = ref [] in
+      let rec loop () =
+        match Deque.steal d with
+        | Some v ->
+          mine := v :: !mine;
+          loop ()
+        | None -> if not (Atomic.get owner_done) then loop ()
+      in
+      loop ();
+      !mine
+    in
+    let doms = List.init thieves (fun _ -> Domain.spawn thief) in
+    (* owner: push everything, popping a batch every so often *)
+    let popped = ref [] in
+    for i = 1 to n do
+      Deque.push d i;
+      if i mod 3 = 0 then
+        match Deque.pop d with
+        | Some v -> popped := v :: !popped
+        | None -> ()
+    done;
+    let rec drain () =
+      match Deque.pop d with
+      | Some v ->
+        popped := v :: !popped;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Atomic.set owner_done true;
+    let stolen = List.map Domain.join doms in
+    List.iter (fun v -> taken.(v) <- taken.(v) + 1) !popped;
+    List.iter
+      (fun mine ->
+        (* collected newest-first, so per-thief order must be decreasing *)
+        check tbool "per-thief steals oldest-first" true
+          (let rec sorted = function
+             | a :: (b :: _ as rest) -> a > b && sorted rest
+             | _ -> true
+           in
+           sorted mine);
+        List.iter (fun v -> taken.(v) <- taken.(v) + 1) mine)
+      stolen;
+    for i = 1 to n do
+      if taken.(i) <> 1 then
+        Alcotest.failf "element %d taken %d times" i taken.(i)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [
@@ -577,6 +713,7 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_leffect_matches_oracle;
     prop_leffect_covers_stores;
     prop_layout_store_commutes;
+    prop_deque_matches_oracle;
   ]
 
 let () =
@@ -623,6 +760,12 @@ let () =
           Alcotest.test_case "incompatible duplicates" `Quick
             test_genv_link_incompatible;
           Alcotest.test_case "init memory" `Quick test_genv_init_memory;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "lifo/fifo ends" `Quick test_deque_lifo_fifo;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "multi-domain hammer" `Slow test_deque_hammer;
         ] );
       ( "layout",
         [

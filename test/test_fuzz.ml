@@ -224,6 +224,102 @@ let prop_backtrans_roundtrip =
         | Error e -> QCheck.Test.fail_reportf "replay: %s" e))
 
 (* ------------------------------------------------------------------ *)
+(* Engine agreement: qcheck over generated programs                    *)
+(* ------------------------------------------------------------------ *)
+
+let world_of_gen (g : Gen.t) =
+  match g.Gen.g_lang with
+  | Gen.Clight ->
+    let client = Cas_langs.Parse.clight g.Gen.g_source in
+    let mods =
+      if g.Gen.g_with_lock then
+        [
+          Lang.Mod (Cas_langs.Clight.lang, client);
+          Lang.Mod (Cas_langs.Cimp.lang, Cas_langs.Cimp.gamma_lock ());
+        ]
+      else [ Lang.Mod (Cas_langs.Clight.lang, client) ]
+    in
+    Cas_conc.World.load (Lang.prog mods g.Gen.g_entries) ~args:[]
+  | Gen.Cimp ->
+    let obj = Cas_langs.Parse.cimp g.Gen.g_source in
+    Cas_conc.World.load
+      (Lang.prog [ Lang.Mod (Cas_langs.Cimp.lang, obj) ] g.Gen.g_entries)
+      ~args:[]
+
+let arb_engine_prog =
+  let open QCheck.Gen in
+  let gen = pair (oneofl [ Gen.Clight; Gen.Cimp ]) (int_range 1 1000) in
+  QCheck.make
+    ~print:(fun (lang, seed) ->
+      Fmt.str "%s seed %d" (Gen.lang_to_string lang) seed)
+    gen
+
+(* the full engine lattice on random programs: naive and dpor agree on
+   the verdict with dpor visiting no more worlds, and dpor-par at 2 and
+   4 domains reproduces dpor's verdict, world count, and captured
+   witness (the minimal-key reduction makes the witness itself
+   steal-invariant, not just the verdict) *)
+let prop_engines_agree_par =
+  let module Race = Cas_conc.Race in
+  let budget = 8_000 in
+  QCheck.Test.make
+    ~name:"naive/dpor/dpor-par(2,4) agree on generated programs" ~count:25
+    arb_engine_prog (fun (lang, seed) ->
+      let g = Gen.program ~lang (Rng.make ~seed) ~size:6 in
+      match world_of_gen g with
+      | Error e ->
+        QCheck.Test.fail_reportf "load: %a" Cas_conc.World.pp_load_error e
+      | Ok w ->
+        let naive =
+          Race.drf ~engine:Cas_conc.Engine.Naive ~max_worlds:budget w
+        in
+        let dpor =
+          Race.drf ~engine:Cas_conc.Engine.Dpor ~max_worlds:budget w
+        in
+        let truncated (r : Race.drf_report) =
+          r.Race.stats.Cas_conc.Explore.truncated
+        in
+        QCheck.assume (not (truncated naive || truncated dpor));
+        if naive.Race.drf <> dpor.Race.drf then
+          QCheck.Test.fail_reportf "dpor verdict %b, naive %b" dpor.Race.drf
+            naive.Race.drf;
+        if
+          dpor.Race.stats.Cas_conc.Explore.visited
+          > naive.Race.stats.Cas_conc.Explore.visited
+        then
+          QCheck.Test.fail_reportf "dpor visited %d worlds, naive only %d"
+            dpor.Race.stats.Cas_conc.Explore.visited
+            naive.Race.stats.Cas_conc.Explore.visited;
+        let key (r : Race.drf_report) =
+          match (r.Race.witness_world, r.Race.witness) with
+          | Some ww, Some wt -> Some (Race.witness_key ww wt)
+          | _ -> None
+        in
+        List.for_all
+          (fun jobs ->
+            let par =
+              Race.drf ~engine:Cas_conc.Engine.Dpor_par ~jobs
+                ~max_worlds:budget w
+            in
+            if par.Race.drf <> dpor.Race.drf then
+              QCheck.Test.fail_reportf "dpor-par(%d) verdict %b, dpor %b" jobs
+                par.Race.drf dpor.Race.drf;
+            if
+              par.Race.stats.Cas_conc.Explore.visited
+              <> dpor.Race.stats.Cas_conc.Explore.visited
+            then
+              QCheck.Test.fail_reportf
+                "dpor-par(%d) visited %d worlds, dpor %d (steal-variant \
+                 world set)"
+                jobs par.Race.stats.Cas_conc.Explore.visited
+                dpor.Race.stats.Cas_conc.Explore.visited;
+            if key par <> key dpor then
+              QCheck.Test.fail_reportf
+                "dpor-par(%d) captured a different witness" jobs;
+            true)
+          [ 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
 (* Injected miscompile end to end                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -388,6 +484,8 @@ let () =
             test_backtrans_rejects;
           QCheck_alcotest.to_alcotest ~rand prop_backtrans_roundtrip;
         ] );
+      ( "engines",
+        [ QCheck_alcotest.to_alcotest ~rand prop_engines_agree_par ] );
       ( "inject",
         [
           Alcotest.test_case "injected miscompile shrinks to a repro" `Slow

@@ -292,17 +292,21 @@ let test_dpor_reduction () =
   check tbool "corpus aggregate >=5x reduction" true
     (5 * !total_dpor <= !total_naive)
 
-(* Distinct-world counts pinned to the values the address-set footprints
-   and string state keys produced before the interning/hashing overhaul:
-   the fixed-width keys must induce exactly the same state partition on
-   the corpus, for every engine. *)
+(* Distinct-world counts pinned per engine. The naive values predate the
+   interning/hashing overhaul (the fixed-width keys must induce exactly
+   the same state partition); the dpor values were re-pinned when the
+   engine moved from persistent/sleep sets to source-DPOR with wakeup
+   sequences — every value strictly dropped or held (259→161,
+   2328→362, 118→94; the rescue coverage filter prunes redundant
+   spin-retry subtrees), and dpor-par must reproduce them exactly: the
+   visited-world set may not depend on steal interleaving. *)
 let test_world_counts_pinned () =
   let corpus =
     [
-      ("lock-counter", Corpus.lock_counter_prog (), 1620, 259);
-      ("lock-counter-3", lock_counter_3_prog (), 51162, 2328);
+      ("lock-counter", Corpus.lock_counter_prog (), 1620, 161);
+      ("lock-counter-3", lock_counter_3_prog (), 51162, 362);
       ("prints-2", prints_prog 2, 72, 23);
-      ("prints-3", prints_prog 3, 648, 118);
+      ("prints-3", prints_prog 3, 648, 94);
     ]
   in
   List.iter
@@ -318,6 +322,62 @@ let test_world_counts_pinned () =
         exp_dpor
         (worlds Engine.Dpor_par))
     corpus
+
+(* Source-set-filtered wakeup insertion must never steer exploration
+   into a sleep-set wall: on the whole corpus, sleep-set-blocked
+   explorations (the old engine's pure waste, [Stats.sleep_prunings])
+   must be exactly 0 — for the sequential engine and under stealing at
+   every domain count. This is the optimality acceptance gate; the
+   bench-regress gate enforces the same invariant on the bench corpus. *)
+let test_no_sleep_blocked () =
+  let corpus =
+    [
+      ("lock-counter", Corpus.lock_counter_prog ());
+      ("lock-counter-3", lock_counter_3_prog ());
+      ("producer-consumer", producer_consumer_prog ());
+      ("prints-2", prints_prog 2);
+      ("prints-3", prints_prog 3);
+      ("racy", Corpus.racy_prog ());
+      ("observer", Corpus.observer_prog ());
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let w = load p in
+      let stats engine jobs =
+        Engine.explore ~engine ~jobs w ~visit:(fun _ -> ())
+      in
+      let seq = stats Engine.Dpor 1 in
+      check tint
+        (name ^ ": no sleep-set-blocked exploration (dpor)")
+        0 seq.Cas_mc.Stats.sleep_prunings;
+      List.iter
+        (fun jobs ->
+          let par = stats Engine.Dpor_par jobs in
+          check tint
+            (Fmt.str "%s: no sleep-set-blocked exploration (jobs=%d)" name
+               jobs)
+            0 par.Cas_mc.Stats.sleep_prunings;
+          check tint
+            (Fmt.str "%s: world count steal-invariant (jobs=%d)" name jobs)
+            seq.Cas_mc.Stats.worlds par.Cas_mc.Stats.worlds)
+        [ 2; 4 ])
+    corpus
+
+(* A root with ≤1 enabled thread has nothing to reorder: dpor-par must
+   short-circuit to the sequential engine (no pool, engine string
+   reports "dpor") instead of spinning up idle domains. *)
+let test_par_short_circuit () =
+  let w = load (prints_prog 1) in
+  let st = Engine.explore ~engine:Engine.Dpor_par ~jobs:4 w ~visit:(fun _ -> ()) in
+  check Alcotest.string "1-thread root runs sequential dpor" "dpor"
+    st.Cas_mc.Stats.engine;
+  let w2 = load (prints_prog 2) in
+  let st2 =
+    Engine.explore ~engine:Engine.Dpor_par ~jobs:4 w2 ~visit:(fun _ -> ())
+  in
+  check Alcotest.string "2-thread root keeps the pool" "dpor-par(4)"
+    st2.Cas_mc.Stats.engine
 
 (* ------------------------------------------------------------------ *)
 (* Random concurrent programs: engines always agree                    *)
@@ -423,6 +483,10 @@ let () =
           Alcotest.test_case "dpor >=5x on corpus" `Slow test_dpor_reduction;
           Alcotest.test_case "world counts pinned across key change" `Slow
             test_world_counts_pinned;
+          Alcotest.test_case "no sleep-set-blocked exploration" `Slow
+            test_no_sleep_blocked;
+          Alcotest.test_case "dpor-par short-circuits 1-thread roots" `Quick
+            test_par_short_circuit;
         ] );
       ( "random",
         [
